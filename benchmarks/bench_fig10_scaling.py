@@ -1,0 +1,27 @@
+"""Figure 10 bench — strong scaling with CPU data.
+
+Regenerates the Figure 10 series (4 MB bcast/reduce vs node count) and
+asserts the paper's claims: ADAPT's time is near-flat in the process count
+(the Hockney chain model T = ns(alpha + beta m)) and ADAPT is fastest at the
+largest scale.
+"""
+
+from repro.harness.experiments import fig10_scaling
+
+
+def test_fig10(benchmark, scale, record_result):
+    res = benchmark.pedantic(fig10_scaling.run, args=(scale,), rounds=1, iterations=1)
+    record_result(res)
+    nodes = sorted({r[2] for r in res.rows})
+    lo, hi = nodes[0], nodes[-1]
+    growth = hi / lo
+    for operation in ("bcast", "reduce"):
+        t_lo = res.value("mean_ms", operation=operation, library="OMPI-adapt", nodes=lo)
+        t_hi = res.value("mean_ms", operation=operation, library="OMPI-adapt", nodes=hi)
+        # Near-flat: far sub-linear in the process count (paper: "does not
+        # increase significantly"); allow fill-time growth but not ~P scaling.
+        assert t_hi < t_lo * (1 + growth / 2), (operation, t_lo, t_hi, growth)
+        at_hi = {
+            r[1]: r[4] for r in res.lookup(operation=operation, nodes=hi)
+        }
+        assert at_hi["OMPI-adapt"] <= min(at_hi.values()) * 1.02, (operation, at_hi)

@@ -1,0 +1,38 @@
+"""Figure 11 bench — GPU-data collectives on the PSG-like cluster.
+
+Regenerates Figure 11a (message-size sweep at fixed GPUs) and Figure 11b
+(strong scaling at fixed 32 MB), asserting: ADAPT's broadcast beats MVAPICH
+and OMPI-default (explicit CPU staging buffer, paper 2-3x), ADAPT's reduce
+wins by much more (GPU-offloaded reduction, paper ~10x), and ADAPT scales
+near-flat with node count.
+"""
+
+from repro.harness.experiments import fig11_gpu
+
+
+def test_fig11a_msgsize(benchmark, scale, record_result):
+    res = benchmark.pedantic(fig11_gpu.run_msgsize, args=(scale,), rounds=1, iterations=1)
+    record_result(res)
+    largest = max(r[2] for r in res.rows)
+    bcast = {r[1]: r[4] for r in res.lookup(operation="bcast", nbytes=largest)}
+    reduce_ = {r[1]: r[4] for r in res.lookup(operation="reduce", nbytes=largest)}
+    # Broadcast: ADAPT wins (paper: 2-3x over both).
+    assert bcast["OMPI-adapt"] < bcast["MVAPICH"], bcast
+    assert bcast["OMPI-adapt"] < bcast["OMPI-default"], bcast
+    # Reduce: ADAPT wins big thanks to GPU offload (paper: ~10x).
+    assert reduce_["OMPI-adapt"] * 3 < reduce_["MVAPICH"], reduce_
+    assert reduce_["OMPI-adapt"] * 3 < reduce_["OMPI-default"], reduce_
+
+
+def test_fig11b_scaling(benchmark, scale, record_result):
+    res = benchmark.pedantic(fig11_gpu.run_scaling, args=(scale,), rounds=1, iterations=1)
+    record_result(res)
+    nodes = sorted({r[2] for r in res.rows})
+    lo, hi = nodes[0], nodes[-1]
+    for operation in ("bcast", "reduce"):
+        t_lo = res.value("mean_ms", operation=operation, library="OMPI-adapt", nodes=lo)
+        t_hi = res.value("mean_ms", operation=operation, library="OMPI-adapt", nodes=hi)
+        # Almost ideal strong scalability (paper Figure 11b).
+        assert t_hi < t_lo * 2.0, (operation, t_lo, t_hi)
+        at_hi = {r[1]: r[4] for r in res.lookup(operation=operation, nodes=hi)}
+        assert at_hi["OMPI-adapt"] <= min(at_hi.values()) * 1.02, (operation, at_hi)

@@ -1,0 +1,23 @@
+"""Table 1 bench — ASP application performance.
+
+Regenerates Table 1's communication/total split for {Cray, Intel,
+OMPI-adapt, OMPI-default} and asserts the paper's ordering: ADAPT has the
+lowest total runtime and the smallest communication share (paper: 38% vs
+48% Cray, >80% Intel/tuned).
+"""
+
+from repro.harness.experiments import table1_asp
+
+
+def test_table1(benchmark, scale, record_result):
+    res = benchmark.pedantic(table1_asp.run, args=(scale,), rounds=1, iterations=1)
+    record_result(res)
+    frac = {r[0]: r[3] for r in res.rows}
+    total = {r[0]: r[2] for r in res.rows}
+    # ADAPT: fastest total runtime and the smallest communication share.
+    assert total["OMPI-adapt"] <= min(total.values()) * 1.02, total
+    assert frac["OMPI-adapt"] <= min(frac.values()) + 1e-9, frac
+    # The tuned module spends the bulk of the runtime communicating.
+    assert frac["OMPI-default"] > 0.5, frac
+    # Cray sits between ADAPT and the tuned module (paper's ordering).
+    assert frac["OMPI-adapt"] < frac["Cray MPI"] < frac["OMPI-default"], frac

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""ASP: all-pairs shortest paths, the paper's application study (Table 1).
+
+Two parts:
+
+1. The *numerics*: a real Floyd-Warshall on a random graph, verified against
+   networkx, showing what the communication pattern computes.
+2. The *performance study*: the same pattern (one broadcast with rotating
+   root per iteration + fixed relaxation compute) driven through the
+   simulator for each MPI library, reproducing Table 1's communication/total
+   split.
+
+Run:  python examples/asp_shortest_paths.py
+"""
+
+import numpy as np
+
+from repro.apps import asp_reference, run_asp
+from repro.machine import cori
+
+
+def verify_numerics() -> None:
+    rng = np.random.default_rng(7)
+    n = 60
+    weights = np.full((n, n), np.inf)
+    np.fill_diagonal(weights, 0.0)
+    for _ in range(n * 4):
+        i, j = rng.integers(0, n, 2)
+        if i != j:
+            weights[i, j] = min(weights[i, j], float(rng.uniform(1, 10)))
+    dist = asp_reference(weights)
+
+    import networkx as nx
+
+    g = nx.from_numpy_array(
+        np.where(np.isfinite(weights), weights, 0), create_using=nx.DiGraph
+    )
+    # networkx drops zero-weight edges in from_numpy_array; rebuild explicitly.
+    g = nx.DiGraph()
+    for i in range(n):
+        for j in range(n):
+            if i != j and np.isfinite(weights[i, j]):
+                g.add_edge(i, j, weight=weights[i, j])
+    expected = dict(nx.all_pairs_dijkstra_path_length(g))
+    for i in expected:
+        for j, d in expected[i].items():
+            assert abs(dist[i, j] - d) < 1e-9, (i, j, dist[i, j], d)
+    print(f"Floyd-Warshall on {n} nodes verified against networkx Dijkstra.")
+
+
+def performance_study() -> None:
+    spec = cori(nodes=2)
+    nranks = spec.total_cores
+    print()
+    print(f"ASP communication pattern on {nranks} simulated ranks "
+          f"(24 iterations x 1 MB row broadcast):")
+    print(f"{'library':<16} {'comm (s)':>9} {'total (s)':>10} {'comm share':>11}")
+    print("-" * 50)
+    for lib in ["Cray MPI", "Intel MPI", "OMPI-adapt", "OMPI-default"]:
+        res = run_asp(spec, nranks, lib, iterations=24)
+        print(
+            f"{lib:<16} {res.communication_time:9.4f} {res.total_runtime:10.4f} "
+            f"{res.communication_fraction:10.1%}"
+        )
+    print()
+    print("Paper's Table 1 (1K cores): ADAPT spends 38% of ASP's runtime in")
+    print("communication; Cray 48%; Intel MPI and OMPI-tuned over 80%.")
+
+
+if __name__ == "__main__":
+    verify_numerics()
+    performance_study()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Figure gallery: regenerate a paper figure and render it in the terminal.
+
+Runs a reduced Figure 9a sweep (end-to-end broadcast vs message size on the
+Cori-like cluster) and draws it as an ASCII log-log chart — the same series
+the paper plots, labelled by library.
+
+Run:  python examples/figure_gallery.py          (takes a couple of minutes)
+"""
+
+from repro.harness.charts import experiment_line_chart, grouped_bar_chart
+from repro.harness.experiments import fig09_msgsize, table1_asp
+
+
+def main() -> None:
+    print("Regenerating Figure 9a (reduced sweep)...\n")
+    res = fig09_msgsize.run(
+        "cori", "small", "bcast", sizes=[128 << 10, 512 << 10, 2 << 20, 4 << 20]
+    )
+    print(res.table())
+    print()
+    print(experiment_line_chart(res))
+    print()
+
+    print("Regenerating Table 1 (ASP)...\n")
+    t1 = table1_asp.run("small", iterations=16)
+    print(t1.table())
+    print()
+    groups = {
+        row[0]: {"communication": row[1] * 1e3, "compute": (row[2] - row[1]) * 1e3}
+        for row in t1.rows
+    }
+    print(grouped_bar_chart("ASP runtime split (ms)", groups))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Noise resilience: the paper's headline experiment (Figure 7) in miniature.
+
+Injects uniform-duration noise on one process and compares how much each
+library's broadcast slows down. ADAPT's event-driven design absorbs the
+delays; blocking designs propagate them to siblings and parents (paper
+Figure 2) and amplify them.
+
+Run:  python examples/noise_resilience.py
+"""
+
+from repro.harness import run_collective, slowdown_percent
+from repro.machine import cori
+
+LIBRARIES = ["OMPI-adapt", "OMPI-default", "Intel MPI", "Cray MPI"]
+
+
+def main() -> None:
+    spec = cori(nodes=2)
+    nranks = spec.total_cores
+    msg = 4 << 20
+    noisy_rank = nranks // 3
+    iters = 60
+
+    print(f"4 MB broadcast on {nranks} ranks; noise on rank {noisy_rank} only")
+    print(f"{'library':<16} {'no noise':>10} {'with noise':>11} {'slowdown':>9}")
+    print("-" * 50)
+    for lib in LIBRARIES:
+        base = run_collective(
+            spec, nranks, lib, "bcast", msg, iterations=iters, seed=1
+        ).mean_time
+        # Noise events ~4x one collective, duty cycle 10%.
+        noisy = run_collective(
+            spec, nranks, lib, "bcast", msg, iterations=iters,
+            noise_percent=10, noise_ranks=[noisy_rank],
+            noise_frequency=(10 / 100.0) / (2.0 * base), seed=2,
+        ).mean_time
+        print(
+            f"{lib:<16} {base * 1e3:8.3f}ms {noisy * 1e3:9.3f}ms "
+            f"{slowdown_percent(noisy, base):8.1f}%"
+        )
+    print()
+    print("ADAPT keeps per-child and per-segment progress independent, so a")
+    print("stalled process delays only its own subtree's data dependencies.")
+
+
+if __name__ == "__main__":
+    main()

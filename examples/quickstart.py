@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: broadcast a real payload through a simulated cluster with the
+event-driven ADAPT framework, and compare against the Waitall baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.collectives import bcast_adapt, bcast_nonblocking
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig
+from repro.machine import cori
+from repro.mpi import Communicator, MpiWorld
+from repro.trees import topology_aware_tree
+
+
+def run_once(algo, label: str) -> None:
+    # A Cori-like cluster: 2 nodes x 2 sockets x 16 cores = 64 ranks.
+    spec = cori(nodes=2)
+    world = MpiWorld(spec, nranks=64, carry_data=True)
+    comm = Communicator(world)
+
+    # The message: 1 MiB of real bytes, checked on every rank at the end.
+    nbytes = 1 << 20
+    payload = np.arange(nbytes, dtype=np.uint8)
+
+    # ADAPT's single topology-aware tree (Figure 5 of the paper): chains
+    # within sockets, across sockets, and across nodes, glued by leaders.
+    tree = topology_aware_tree(world.topology, list(comm.ranks), root=0)
+
+    ctx = CollectiveContext(
+        comm, root=0, nbytes=nbytes,
+        config=CollectiveConfig(segment_size=128 * 1024),
+        tree=tree, data=payload,
+    )
+    handle = algo(ctx)
+    world.run()
+
+    assert handle.done
+    for rank in range(comm.size):
+        np.testing.assert_array_equal(
+            np.asarray(handle.output[rank]).view(np.uint8), payload
+        )
+    print(
+        f"{label:<22} 1 MiB -> 64 ranks in {handle.elapsed() * 1e3:7.3f} ms "
+        f"(all payloads verified)"
+    )
+
+
+def main() -> None:
+    print("Broadcast on a simulated 2-node Cori-like cluster")
+    print("-" * 60)
+    run_once(bcast_adapt, "ADAPT (event-driven)")
+    run_once(bcast_nonblocking, "Isend/Irecv + Waitall")
+    print()
+    print("Same tree, same network - the difference is purely the removed")
+    print("synchronization dependencies (paper Sections 2.2 and 3.2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no network and no `wheel` package, so PEP 517 editable
+installs fail; `pip install -e . --no-build-isolation --no-use-pep517` (or
+plain `pip install -e .` where wheel is available) uses this shim instead.
+"""
+
+from setuptools import setup
+
+setup()

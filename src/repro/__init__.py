@@ -1,0 +1,56 @@
+"""repro — reproduction of *ADAPT: An Event-Based Adaptive Collective
+Communication Framework* (Luo et al., HPDC 2018).
+
+The paper's system is rebuilt end-to-end on a discrete-event simulated
+heterogeneous cluster (see DESIGN.md for the substitution argument):
+
+* :mod:`repro.sim` — event engine, per-rank CPUs, tracing;
+* :mod:`repro.machine` — cluster/topology model (Cori/Stampede2/PSG presets);
+* :mod:`repro.network` — max-min fair-shared links, routing, PCIe lanes;
+* :mod:`repro.mpi` — simulated MPI runtime (eager/rendezvous, matching,
+  completion callbacks, blocking-style proclets);
+* :mod:`repro.trees` — communication trees incl. the topology-aware tree;
+* :mod:`repro.collectives` — blocking / non-blocking+Waitall / **ADAPT
+  event-driven** collectives plus the comparators and extensions;
+* :mod:`repro.libraries` — behavioural models of the compared MPI libraries;
+* :mod:`repro.noise` — noise injection and the propagation microscope;
+* :mod:`repro.model` — Hockney analytic cost model;
+* :mod:`repro.apps` — the ASP application (Table 1);
+* :mod:`repro.harness` — IMB-style runner, per-figure experiment drivers,
+  charts, and the ``python -m repro`` CLI.
+
+Quickstart::
+
+    from repro.machine import cori
+    from repro.mpi import MpiWorld, Communicator
+    from repro.trees import topology_aware_tree
+    from repro.collectives import bcast_adapt
+    from repro.collectives.base import CollectiveContext
+    from repro.config import CollectiveConfig
+
+    world = MpiWorld(cori(nodes=2), nranks=64)
+    comm = Communicator(world)
+    tree = topology_aware_tree(world.topology, list(comm.ranks), root=0)
+    ctx = CollectiveContext(comm, 0, 1 << 20, CollectiveConfig(), tree=tree)
+    handle = bcast_adapt(ctx)
+    world.run()
+    print(handle.elapsed())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "cli",
+    "collectives",
+    "config",
+    "harness",
+    "libraries",
+    "machine",
+    "model",
+    "mpi",
+    "network",
+    "noise",
+    "sim",
+    "trees",
+]

@@ -1,0 +1,5 @@
+"""Applications driven through the simulated MPI runtime."""
+
+from repro.apps.asp import AspResult, run_asp, asp_reference
+
+__all__ = ["AspResult", "run_asp", "asp_reference"]

@@ -1,0 +1,187 @@
+"""Command-line interface: regenerate any experiment or run ad-hoc measurements.
+
+Usage (after installation)::
+
+    python -m repro fig9 --machine cori --operation bcast
+    python -m repro fig7 --machine stampede2 --scale small
+    python -m repro table1
+    python -m repro run --library OMPI-adapt --op reduce --nbytes 4194304 \
+        --machine cori --nodes 4
+    python -m repro tree --nodes 3 --sockets 2 --cores 4
+    python -m repro machines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.experiments import (
+    fig07_noise,
+    fig08_topo,
+    fig09_msgsize,
+    fig10_scaling,
+    fig11_gpu,
+    table1_asp,
+)
+from repro.harness.runner import run_collective
+from repro.machine import Topology, cori, psg_gpu, small_test_machine, stampede2
+
+_MACHINES = {"cori": cori, "stampede2": stampede2, "psg": psg_gpu}
+
+
+def _machine(name: str, nodes: Optional[int]):
+    try:
+        factory = _MACHINES[name]
+    except KeyError:
+        raise SystemExit(f"unknown machine {name!r}; choose from {sorted(_MACHINES)}")
+    return factory(nodes) if nodes else factory()
+
+
+def _add_scale(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADAPT (HPDC'18) reproduction: regenerate the paper's "
+        "tables and figures on the simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p7 = sub.add_parser("fig7", help="Figure 7: noise impact")
+    p7.add_argument("--machine", default="cori", choices=["cori", "stampede2"])
+    _add_scale(p7)
+
+    p8 = sub.add_parser("fig8", help="Figure 8: topology-aware algorithms")
+    p8.add_argument("--machine", default="cori", choices=["cori", "stampede2"])
+    p8.add_argument("--operation", default="bcast", choices=["bcast", "reduce"])
+    _add_scale(p8)
+
+    p9 = sub.add_parser("fig9", help="Figure 9: end-to-end vs message size")
+    p9.add_argument("--machine", default="cori", choices=["cori", "stampede2"])
+    p9.add_argument("--operation", default="bcast", choices=["bcast", "reduce"])
+    p9.add_argument("--chart", action="store_true",
+                    help="render an ASCII line chart under the table")
+    _add_scale(p9)
+
+    p10 = sub.add_parser("fig10", help="Figure 10: strong scaling")
+    _add_scale(p10)
+
+    p11a = sub.add_parser("fig11a", help="Figure 11a: GPU vs message size")
+    _add_scale(p11a)
+    p11b = sub.add_parser("fig11b", help="Figure 11b: GPU strong scaling")
+    _add_scale(p11b)
+
+    pt1 = sub.add_parser("table1", help="Table 1: ASP application")
+    _add_scale(pt1)
+
+    prun = sub.add_parser("run", help="one ad-hoc collective measurement")
+    prun.add_argument("--library", default="OMPI-adapt")
+    prun.add_argument("--op", dest="operation", default="bcast",
+                      choices=["bcast", "reduce"])
+    prun.add_argument("--nbytes", type=int, default=4 << 20)
+    prun.add_argument("--machine", default="cori", choices=sorted(_MACHINES))
+    prun.add_argument("--nodes", type=int, default=None)
+    prun.add_argument("--nranks", type=int, default=None)
+    prun.add_argument("--iterations", type=int, default=5)
+    prun.add_argument("--noise", type=float, default=0.0,
+                      help="noise duty-cycle percent on one mid-tree rank")
+    prun.add_argument("--gpu", action="store_true")
+    prun.add_argument("--seed", type=int, default=0)
+
+    ptree = sub.add_parser("tree", help="print a topology-aware tree")
+    ptree.add_argument("--nodes", type=int, default=3)
+    ptree.add_argument("--sockets", type=int, default=2)
+    ptree.add_argument("--cores", type=int, default=4)
+    ptree.add_argument("--root", type=int, default=0)
+
+    sub.add_parser("machines", help="list machine presets")
+    return parser
+
+
+def _cmd_experiment(args) -> str:
+    if args.command == "fig7":
+        return fig07_noise.run(args.machine, args.scale).table()
+    if args.command == "fig8":
+        return fig08_topo.run(args.machine, args.scale, args.operation).table()
+    if args.command == "fig9":
+        res = fig09_msgsize.run(args.machine, args.scale, args.operation)
+        out = res.table()
+        if getattr(args, "chart", False):
+            from repro.harness.charts import experiment_line_chart
+
+            out += "\n\n" + experiment_line_chart(res)
+        return out
+    if args.command == "fig10":
+        return fig10_scaling.run(args.scale).table()
+    if args.command == "fig11a":
+        return fig11_gpu.run_msgsize(args.scale).table()
+    if args.command == "fig11b":
+        return fig11_gpu.run_scaling(args.scale).table()
+    if args.command == "table1":
+        return table1_asp.run(args.scale).table()
+    raise AssertionError  # pragma: no cover
+
+
+def _cmd_run(args) -> str:
+    spec = _machine(args.machine, args.nodes)
+    nranks = args.nranks or (spec.total_gpus if args.gpu else spec.total_cores)
+    noisy = [nranks // 3] if args.noise > 0 else "per-node"
+    result = run_collective(
+        spec, nranks, args.library, args.operation, args.nbytes,
+        iterations=args.iterations, noise_percent=args.noise,
+        noise_ranks=noisy, gpu=args.gpu, seed=args.seed,
+    )
+    return str(result)
+
+
+def _cmd_tree(args) -> str:
+    spec = small_test_machine(
+        nodes=args.nodes, sockets=args.sockets, cores_per_socket=args.cores
+    )
+    topo = Topology(spec, spec.total_cores)
+    from repro.trees import topology_aware_tree
+
+    tree = topology_aware_tree(topo, list(range(spec.total_cores)), args.root)
+    lines = [f"topology-aware tree, root {tree.root}, height {tree.height()}"]
+
+    def walk(rank: int, depth: int) -> None:
+        for child in tree.children[rank]:
+            level = topo.level(rank, child).name.lower().replace("_", "-")
+            lines.append(f"{'  ' * depth}P{rank} -> P{child} [{level}]")
+            walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def _cmd_machines() -> str:
+    lines = []
+    for name, factory in _MACHINES.items():
+        spec = factory()
+        gpus = f", {spec.total_gpus} GPUs" if spec.total_gpus else ""
+        lines.append(
+            f"{name:<10} {spec.nodes} nodes x {spec.node.sockets} sockets x "
+            f"{spec.node.cores_per_socket} cores = {spec.total_cores} ranks{gpus}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "table1"):
+        print(_cmd_experiment(args))
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "tree":
+        print(_cmd_tree(args))
+    elif args.command == "machines":
+        print(_cmd_machines())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

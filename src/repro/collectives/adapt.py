@@ -1,0 +1,329 @@
+"""ADAPT event-driven collectives — the paper's core contribution
+(Algorithm 3 / Figure 4).
+
+No rank ever waits. Completion callbacks attached to low-level non-blocking
+operations post the next operations, keeping, per rank:
+
+* **segment independence** — up to ``N`` sends in flight per child, refilled
+  from the segment pool as each completes; ``M > N`` receives pre-posted from
+  the parent so segments never arrive unexpected (Section 2.2.1);
+* **child independence** — every child has its own ready-queue and in-flight
+  window, so a slow child never throttles its siblings (Section 2.2.2).
+
+A collective is "complete" on a rank when its recvs, sends, reductions and
+(GPU runs) staging flushes have all drained — mirroring the single Open MPI
+request ADAPT keeps per collective.
+
+GPU extensions (Section 4): ranks in ``ctx.host_staging`` (node leaders and
+the root) receive and send through an explicit CPU buffer, so one PCIe
+device-to-host pull serves all outgoing copies, and the segment is flushed to
+the leader's own GPU by an asynchronous copy that overlaps with forwarding.
+Reductions may be offloaded to simulated CUDA streams
+(``ctx.reduce_on_gpu``), freeing the host CPU (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.collectives.base import CollectiveContext, CollectiveHandle, new_handle
+from repro.collectives.segmentation import (
+    assemble_payload,
+    segment_sizes,
+    slice_payload,
+)
+from repro.network.fabric import MemSpace
+
+
+class _AdaptBcastRank:
+    """Per-rank state machine for the event-driven broadcast."""
+
+    def __init__(self, ctx: CollectiveContext, handle: CollectiveHandle, local: int):
+        self.ctx = ctx
+        self.handle = handle
+        self.local = local
+        tree = ctx.tree
+        assert tree is not None
+        self.children = tree.children[local]
+        self.parent = tree.parent[local]
+        self.sizes = segment_sizes(ctx.nbytes, ctx.config)
+        self.nseg = len(self.sizes)
+        self.is_root = self.parent is None
+        self.staged = local in ctx.host_staging
+        self.payloads: list[Any] = [None] * self.nseg
+
+        # Child-independent send state (Section 2.2.2).
+        self.ready: dict[int, list[int]] = {c: [] for c in self.children}
+        self.inflight: dict[int, int] = {c: 0 for c in self.children}
+        self.sends_done = 0
+        self.sends_total = self.nseg * len(self.children)
+
+        # Receive state.
+        self.recvs_done = 0
+        self.next_recv = 0
+
+        # GPU staging flush state (non-root leaders must land data in their
+        # own GPU; the root's data already lives there).
+        self.flushes_done = 0
+        self.flushes_total = (
+            self.nseg if (self.staged and self._gpu_world() and not self.is_root) else 0
+        )
+
+        self.finished = False
+
+    # -- helpers -------------------------------------------------------------
+
+    def _gpu_world(self) -> bool:
+        return self.ctx.world.gpu_bound
+
+    def _start(self) -> None:
+        ctx = self.ctx
+        if self.is_root:
+            slices = slice_payload(ctx.data if ctx.carry() else None, self.sizes)
+            self.payloads = list(slices)
+            if self.staged and self._gpu_world():
+                # Section 4.1: the root caches segments into CPU memory
+                # first; sends are fed from the cache as each pull lands.
+                self._root_stage_pulls()
+            else:
+                for i in range(self.nseg):
+                    self._segment_ready(i)
+        else:
+            for _ in range(min(ctx.config.posted_recvs, self.nseg)):
+                self._post_recv()
+        self._maybe_finish()  # degenerate trees (single rank) finish here
+
+    # -- root GPU caching ------------------------------------------------------
+
+    def _root_stage_pulls(self) -> None:
+        """Pull segments GPU -> explicit CPU buffer, window M at a time."""
+        self._next_pull = 0
+        for _ in range(min(self.ctx.config.posted_recvs, self.nseg)):
+            self._post_pull()
+
+    def _post_pull(self) -> None:
+        if self._next_pull >= self.nseg:
+            return
+        seg = self._next_pull
+        self._next_pull += 1
+        world_rank = self.ctx.comm.world_rank(self.local)
+
+        def on_pulled(flow, seg=seg) -> None:
+            rt = self.ctx.rt(self.local)
+            rt.cpu.when_available(lambda: (self._post_pull(), self._segment_ready(seg)))
+
+        self.ctx.world.fabric.start_transfer(
+            world_rank, world_rank, self.sizes[seg], on_pulled,
+            MemSpace.GPU, MemSpace.HOST,
+        )
+
+    # -- receive path -------------------------------------------------------------
+
+    def _post_recv(self) -> None:
+        if self.next_recv >= self.nseg:
+            return
+        seg = self.next_recv
+        self.next_recv += 1
+        assert self.parent is not None
+        req = self.ctx.irecv(self.local, self.parent, self.ctx.seg_tag(seg), self.sizes[seg])
+        req.add_callback(lambda r, seg=seg: self._on_recv(seg, r.data))
+
+    def _on_recv(self, seg: int, data: Any) -> None:
+        self.recvs_done += 1
+        self.payloads[seg] = data
+        self._post_recv()  # keep M outstanding
+        if self.staged and self._gpu_world():
+            self._flush_to_gpu(seg)
+        self._segment_ready(seg)
+        self._maybe_finish()
+
+    def _flush_to_gpu(self, seg: int) -> None:
+        """Asynchronously copy a cached segment host -> own GPU."""
+        world_rank = self.ctx.comm.world_rank(self.local)
+
+        def on_flushed(flow) -> None:
+            self.flushes_done += 1
+            self._maybe_finish()
+
+        self.ctx.world.fabric.start_transfer(
+            world_rank, world_rank, self.sizes[seg], on_flushed,
+            MemSpace.HOST, MemSpace.GPU,
+        )
+
+    # -- send path -----------------------------------------------------------------
+
+    def _segment_ready(self, seg: int) -> None:
+        for child in self.children:
+            self.ready[child].append(seg)
+            self._try_send(child)
+
+    def _try_send(self, child: int) -> None:
+        ctx = self.ctx
+        while self.inflight[child] < ctx.config.inflight_sends and self.ready[child]:
+            seg = self.ready[child].pop(0)
+            self.inflight[child] += 1
+            req = ctx.isend(
+                self.local, child, ctx.seg_tag(seg), self.sizes[seg], self.payloads[seg]
+            )
+            req.add_callback(lambda r, child=child: self._on_send_done(child))
+
+    def _on_send_done(self, child: int) -> None:
+        self.inflight[child] -= 1
+        self.sends_done += 1
+        self._try_send(child)
+        self._maybe_finish()
+
+    # -- completion ---------------------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        if self.finished:
+            return
+        recvs_needed = 0 if self.is_root else self.nseg
+        if (
+            self.recvs_done >= recvs_needed
+            and self.sends_done >= self.sends_total
+            and self.flushes_done >= self.flushes_total
+        ):
+            self.finished = True
+            if self.ctx.carry():
+                out = self.ctx.data if self.is_root else assemble_payload(self.payloads)
+            else:
+                out = None
+            self.handle.mark_done(self.local, self.ctx.world.engine.now, out)
+
+
+def bcast_adapt(
+    ctx: CollectiveContext,
+    handle: Optional[CollectiveHandle] = None,
+    ranks: Optional[Iterable[int]] = None,
+) -> CollectiveHandle:
+    """Event-driven pipelined tree broadcast (Figure 4)."""
+    tree = ctx.tree
+    assert tree is not None and tree.root == ctx.root
+    handle = handle or new_handle(ctx, "bcast-adapt")
+    for local in ranks if ranks is not None else range(ctx.comm.size):
+        rank_state = _AdaptBcastRank(ctx, handle, local)
+        # Kick-off happens on the rank's CPU, like entering MPI_Bcast.
+        ctx.rt(local).cpu.when_available(rank_state._start)
+    return handle
+
+
+class _AdaptReduceRank:
+    """Per-rank state machine for the event-driven reduce.
+
+    Mirrors the broadcast: per-child receive windows of ``M`` segments,
+    reduction work charged per contribution (CPU, or CUDA streams when
+    offloaded — Section 4.2), a per-parent send window of ``N``.
+    """
+
+    def __init__(self, ctx: CollectiveContext, handle: CollectiveHandle, local: int):
+        self.ctx = ctx
+        self.handle = handle
+        self.local = local
+        tree = ctx.tree
+        assert tree is not None
+        self.children = tree.children[local]
+        self.parent = tree.parent[local]
+        self.sizes = segment_sizes(ctx.nbytes, ctx.config)
+        self.nseg = len(self.sizes)
+        own = ctx.data.get(local) if (ctx.carry() and ctx.data) else None
+        self.acc: list[Any] = list(slice_payload(own, self.sizes))
+
+        self.contributions = [0] * self.nseg
+        self.next_recv = {c: 0 for c in self.children}
+        self.sends_done = 0
+        self.inflight_up = 0
+        self.ready_up: list[int] = []
+        self.segments_reduced = 0
+        self.finished = False
+
+    def _start(self) -> None:
+        if not self.children:
+            if self.parent is None:
+                # Single-rank communicator: nothing to reduce.
+                self.segments_reduced = self.nseg
+                self._maybe_finish()
+                return
+            # Leaf: stream own segments to the parent, window N.
+            for seg in range(self.nseg):
+                self.ready_up.append(seg)
+            self._try_send_up()
+            return
+        for child in self.children:
+            for _ in range(min(self.ctx.config.posted_recvs, self.nseg)):
+                self._post_recv(child)
+
+    def _post_recv(self, child: int) -> None:
+        seg = self.next_recv[child]
+        if seg >= self.nseg:
+            return
+        self.next_recv[child] += 1
+        req = self.ctx.irecv(self.local, child, self.ctx.seg_tag(seg), self.sizes[seg])
+        req.add_callback(lambda r, child=child, seg=seg: self._on_recv(child, seg, r.data))
+
+    def _on_recv(self, child: int, seg: int, data: Any) -> None:
+        self._post_recv(child)
+        # Fold this contribution into the accumulator; arithmetic cost is
+        # charged to the CPU or offloaded to a CUDA stream.
+        if self.ctx.carry():
+            self.acc[seg] = self.ctx.combine(self.acc[seg], data)
+        self.ctx.charge_reduce(
+            self.local, self.sizes[seg], self._on_reduced, seg
+        )
+
+    def _on_reduced(self, seg: int) -> None:
+        self.contributions[seg] += 1
+        if self.contributions[seg] == len(self.children):
+            self.segments_reduced += 1
+            if self.parent is not None:
+                self.ready_up.append(seg)
+                self._try_send_up()
+            self._maybe_finish()
+
+    def _try_send_up(self) -> None:
+        ctx = self.ctx
+        assert self.parent is not None
+        while self.inflight_up < ctx.config.inflight_sends and self.ready_up:
+            seg = self.ready_up.pop(0)
+            self.inflight_up += 1
+            req = ctx.isend(
+                self.local, self.parent, ctx.seg_tag(seg), self.sizes[seg], self.acc[seg]
+            )
+            req.add_callback(lambda r: self._on_send_done())
+
+    def _on_send_done(self) -> None:
+        self.inflight_up -= 1
+        self.sends_done += 1
+        self._try_send_up()
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.finished:
+            return
+        if self.parent is not None:
+            done = self.sends_done >= self.nseg
+        else:
+            done = self.segments_reduced >= self.nseg
+        if done:
+            self.finished = True
+            out = (
+                assemble_payload(self.acc)
+                if (self.ctx.carry() and self.parent is None)
+                else None
+            )
+            self.handle.mark_done(self.local, self.ctx.world.engine.now, out)
+
+
+def reduce_adapt(
+    ctx: CollectiveContext,
+    handle: Optional[CollectiveHandle] = None,
+    ranks: Optional[Iterable[int]] = None,
+) -> CollectiveHandle:
+    """Event-driven pipelined tree reduce."""
+    tree = ctx.tree
+    assert tree is not None and tree.root == ctx.root
+    handle = handle or new_handle(ctx, "reduce-adapt")
+    for local in ranks if ranks is not None else range(ctx.comm.size):
+        rank_state = _AdaptReduceRank(ctx, handle, local)
+        ctx.rt(local).cpu.when_available(rank_state._start)
+    return handle

@@ -1,0 +1,147 @@
+"""Shared plumbing for collective implementations.
+
+A collective *launch* registers work (proclets or callbacks) for every rank
+of a communicator at the current simulated time and returns a
+:class:`CollectiveHandle`; driving the world (``world.run()``) then populates
+per-rank completion times and, in data mode, per-rank output payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_COLLECTIVE, CollectiveConfig
+from repro.mpi.communicator import Communicator
+from repro.mpi.ops import ReduceOp
+from repro.mpi.request import Request
+from repro.mpi.runtime import RankRuntime
+from repro.network.fabric import MemSpace
+from repro.trees.base import Tree
+
+
+@dataclass
+class CollectiveHandle:
+    """Observable outcome of one collective operation."""
+
+    name: str
+    start_time: float
+    size: int
+    done_time: dict[int, float] = field(default_factory=dict)
+    output: dict[int, Any] = field(default_factory=dict)
+    # Fired as each rank finishes — the hook hierarchical compositions use to
+    # chain the next level's participation (Section 3.1 semantics).
+    on_rank_done: list[Callable[[int, float], None]] = field(default_factory=list)
+
+    def mark_done(self, local: int, time: float, output: Any = None) -> None:
+        if local in self.done_time:
+            raise RuntimeError(f"rank {local} finished {self.name!r} twice")
+        self.done_time[local] = time
+        if output is not None:
+            self.output[local] = output
+        for cb in list(self.on_rank_done):
+            cb(local, time)
+
+    @property
+    def done(self) -> bool:
+        return len(self.done_time) == self.size
+
+    def elapsed(self) -> float:
+        """Wall time from launch to the last rank's completion."""
+        if not self.done:
+            raise RuntimeError(
+                f"collective {self.name!r} incomplete: "
+                f"{len(self.done_time)}/{self.size} ranks finished"
+            )
+        return max(self.done_time.values()) - self.start_time
+
+    def rank_elapsed(self, local: int) -> float:
+        return self.done_time[local] - self.start_time
+
+
+class CollectiveContext:
+    """Everything one collective launch needs, bundled.
+
+    ``data``: for bcast, the root payload (numpy array); for reduce, a dict
+    mapping local rank to that rank's contribution. Ignored unless the world
+    carries data.
+
+    ``host_staging``: local ranks that send/recv through an explicit CPU
+    buffer instead of their GPU memory (Section 4.1's optimization).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        root: int,
+        nbytes: int,
+        config: CollectiveConfig = DEFAULT_COLLECTIVE,
+        tree: Optional[Tree] = None,
+        data: Any = None,
+        op: Optional[ReduceOp] = None,
+        reduce_on_gpu: bool = False,
+        host_staging: Optional[set[int]] = None,
+    ):
+        self.comm = comm
+        self.root = root
+        self.nbytes = nbytes
+        self.config = config
+        self.tree = tree
+        self.data = data
+        self.op = op
+        self.reduce_on_gpu = reduce_on_gpu
+        self.host_staging = host_staging or set()
+        self.world = comm.world
+        self.base_tag = self.world.allocate_tags(
+            max(1, len(config.segments_for(nbytes))) * max(2, comm.size)
+        )
+        # Algorithm-private state that must survive partial-rank launches
+        # (e.g. scatter-allgather's extra tag block).
+        self.scratch: Any = None
+
+    def rt(self, local: int) -> RankRuntime:
+        return self.comm.runtime(local)
+
+    def carry(self) -> bool:
+        return self.world.carry_data
+
+    def seg_tag(self, seg: int) -> int:
+        return self.base_tag + seg
+
+    # -- space-aware p2p helpers -------------------------------------------------
+
+    def _spaces(self, src_local: int, dst_local: int) -> tuple[Optional[MemSpace], Optional[MemSpace]]:
+        src_space = MemSpace.HOST if src_local in self.host_staging else None
+        dst_space = MemSpace.HOST if dst_local in self.host_staging else None
+        return src_space, dst_space
+
+    def isend(self, src_local: int, dst_local: int, tag: int, nbytes: int, data=None) -> Request:
+        src_space, dst_space = self._spaces(src_local, dst_local)
+        return self.rt(src_local).isend(
+            self.comm.world_rank(dst_local), tag, nbytes, data=data,
+            space=src_space, dst_space=dst_space,
+        )
+
+    def irecv(self, dst_local: int, src_local: int, tag: int, nbytes: int) -> Request:
+        return self.rt(dst_local).irecv(self.comm.world_rank(src_local), tag, nbytes)
+
+    # -- reduction helpers ----------------------------------------------------------
+
+    def combine(self, acc: Any, operand: Any) -> Any:
+        """Numerically combine two payloads (data mode only)."""
+        assert self.op is not None
+        if acc is None or operand is None:
+            return None
+        return self.op(np.asarray(acc), np.asarray(operand))
+
+    def charge_reduce(self, local: int, nbytes: int, fn: Optional[Callable] = None, *args) -> None:
+        """Charge the arithmetic cost of reducing one segment."""
+        self.rt(local).reduce_local(nbytes, fn, *args, on_gpu=self.reduce_on_gpu)
+
+
+def new_handle(ctx: CollectiveContext, name: str) -> CollectiveHandle:
+    return CollectiveHandle(
+        name=name, start_time=ctx.world.engine.now, size=ctx.comm.size
+    )

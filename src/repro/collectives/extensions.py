@@ -1,0 +1,317 @@
+"""Additional collectives on the ADAPT event-driven framework.
+
+The paper's Section 2.2.3 argues the event-driven basic building block
+(Algorithm 3) extends to any collective built from send-to-children /
+receive-from-parent patterns, and Section 7 lists "increasing the collective
+communications coverage" as future work. This module implements that
+extension: scatter, gather, allreduce and barrier, all callback-driven on
+the same trees and runtime.
+
+* **scatter** — each tree edge carries the subtree's block range; forwarding
+  to a child starts the moment the child's range is available (no sibling
+  ordering).
+* **gather** — the reverse: a rank forwards its subtree's assembled range
+  upward as contributions drain in.
+* **allreduce** — an ADAPT reduce chained into an ADAPT broadcast at the
+  root, both pipelined, with the broadcast of a segment starting as soon as
+  that segment is fully reduced (segment-level overlap the two-phase
+  composition of Section 3.1 could not achieve).
+* **barrier** — a zero-byte gather-release over the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.collectives.adapt import bcast_adapt, reduce_adapt
+from repro.collectives.base import CollectiveContext, CollectiveHandle, new_handle
+from repro.collectives.segmentation import segment_sizes
+
+
+def _block_ranges(nbytes: int, nparts: int) -> list[tuple[int, int]]:
+    base, rem = divmod(nbytes, nparts)
+    out, off = [], 0
+    for i in range(nparts):
+        ln = base + (1 if i < rem else 0)
+        out.append((off, ln))
+        off += ln
+    return out
+
+
+def _subtree(tree, rank: int) -> list[int]:
+    return [rank] + list(tree.descendants(rank))
+
+
+def scatter_adapt(
+    ctx: CollectiveContext,
+    handle: Optional[CollectiveHandle] = None,
+    ranks=None,
+) -> CollectiveHandle:
+    """Event-driven tree scatter: ``ctx.nbytes`` is the total payload; rank r
+    ends up with block r (communicator order). ``ctx.data`` (data mode) is
+    the root's full buffer."""
+    tree = ctx.tree
+    assert tree is not None and tree.root == ctx.root
+    comm = ctx.comm
+    P = comm.size
+    first_call = handle is None
+    handle = handle or new_handle(ctx, "scatter-adapt")
+    blocks = _block_ranges(ctx.nbytes, P)
+    if first_call:
+        ctx.scratch = ctx.world.allocate_tags(P)
+    base_tag = ctx.scratch
+    payload = (
+        np.asarray(ctx.data).reshape(-1).view(np.uint8)
+        if (ctx.carry() and ctx.data is not None)
+        else None
+    )
+
+    def subtree_bytes(r: int) -> int:
+        return sum(blocks[m][1] for m in _subtree(tree, r))
+
+    def subtree_slice(r: int, buf) -> Any:
+        if buf is None:
+            return None
+        members = sorted(_subtree(tree, r))
+        return np.concatenate(
+            [buf[blocks[m][0] : blocks[m][0] + blocks[m][1]] for m in members]
+        )
+
+    def start_rank(local: int) -> None:
+        children = tree.children[local]
+        parent = tree.parent[local]
+        state = {"forwarded": 0, "have": None, "received": parent is None}
+
+        def own_block(buf) -> Any:
+            if buf is None:
+                return None
+            members = sorted(_subtree(tree, local))
+            off = 0
+            for m in members:
+                if m == local:
+                    return buf[off : off + blocks[m][1]]
+                off += blocks[m][1]
+            raise AssertionError  # pragma: no cover
+
+        def maybe_done() -> None:
+            if state["received"] and state["forwarded"] == len(children):
+                out = own_block(state["have"]) if ctx.carry() else None
+                handle.mark_done(local, ctx.world.engine.now, out)
+
+        def forward(buf) -> None:
+            for child in children:
+                # Re-slice this child's subtree range out of my range. My
+                # range is ordered by ascending member rank.
+                def child_range(buf=buf, child=child):
+                    if buf is None:
+                        return None
+                    members = sorted(_subtree(tree, local))
+                    target = set(_subtree(tree, child))
+                    chunks = []
+                    off = 0
+                    for m in members:
+                        ln = blocks[m][1]
+                        if m in target:
+                            chunks.append(buf[off : off + ln])
+                        off += ln
+                    return np.concatenate(chunks) if chunks else None
+
+                req = ctx.isend(
+                    local, child, base_tag + child, subtree_bytes(child),
+                    child_range(),
+                )
+                req.add_callback(lambda r: (_sent(), None)[1])
+
+        def _sent() -> None:
+            state["forwarded"] += 1
+            maybe_done()
+
+        if parent is None:
+            if payload is not None:
+                members = sorted(_subtree(tree, local))
+                state["have"] = np.concatenate(
+                    [payload[blocks[m][0] : blocks[m][0] + blocks[m][1]] for m in members]
+                )
+            forward(state["have"])
+            maybe_done()
+        else:
+            req = ctx.irecv(local, parent, base_tag + local, subtree_bytes(local))
+
+            def on_recv(r) -> None:
+                buf = (
+                    np.asarray(r.data).reshape(-1).view(np.uint8)
+                    if (ctx.carry() and r.data is not None)
+                    else None
+                )
+                state["have"] = buf
+                state["received"] = True
+                forward(buf)
+                maybe_done()
+
+            req.add_callback(on_recv)
+
+    for local in ranks if ranks is not None else range(P):
+        ctx.rt(local).cpu.when_available(start_rank, local)
+    return handle
+
+
+def gather_adapt(
+    ctx: CollectiveContext,
+    handle: Optional[CollectiveHandle] = None,
+    ranks=None,
+) -> CollectiveHandle:
+    """Event-driven tree gather: rank r contributes ``ctx.data[r]`` (data
+    mode); the root assembles blocks in communicator order."""
+    tree = ctx.tree
+    assert tree is not None and tree.root == ctx.root
+    comm = ctx.comm
+    P = comm.size
+    first_call = handle is None
+    handle = handle or new_handle(ctx, "gather-adapt")
+    blocks = _block_ranges(ctx.nbytes, P)
+    if first_call:
+        ctx.scratch = ctx.world.allocate_tags(P)
+    base_tag = ctx.scratch
+
+    def subtree_bytes(r: int) -> int:
+        return sum(blocks[m][1] for m in _subtree(tree, r))
+
+    def start_rank(local: int) -> None:
+        children = tree.children[local]
+        parent = tree.parent[local]
+        own = ctx.data.get(local) if (ctx.carry() and ctx.data) else None
+        pieces: dict[int, Any] = {
+            local: np.asarray(own).reshape(-1).view(np.uint8) if own is not None else None
+        }
+        pending = {"children": len(children)}
+
+        def assembled() -> Any:
+            members = sorted(_subtree(tree, local))
+            if not ctx.carry() or any(pieces.get(m) is None for m in members):
+                return None
+            return np.concatenate([pieces[m] for m in members])
+
+        def finish_or_forward() -> None:
+            if pending["children"] > 0:
+                return
+            if parent is None:
+                handle.mark_done(local, ctx.world.engine.now, assembled())
+                return
+            req = ctx.isend(
+                local, parent, base_tag + local, subtree_bytes(local), assembled()
+            )
+            req.add_callback(
+                lambda r: handle.mark_done(local, ctx.world.engine.now, None)
+            )
+
+        for child in children:
+            req = ctx.irecv(local, child, base_tag + child, subtree_bytes(child))
+
+            def on_recv(r, child=child) -> None:
+                if ctx.carry() and r.data is not None:
+                    buf = np.asarray(r.data).reshape(-1).view(np.uint8)
+                    off = 0
+                    for m in sorted(_subtree(tree, child)):
+                        ln = blocks[m][1]
+                        pieces[m] = buf[off : off + ln]
+                        off += ln
+                pending["children"] -= 1
+                finish_or_forward()
+
+            req.add_callback(on_recv)
+        finish_or_forward()
+
+    for local in ranks if ranks is not None else range(P):
+        ctx.rt(local).cpu.when_available(start_rank, local)
+    return handle
+
+
+def allreduce_adapt(
+    ctx: CollectiveContext,
+    handle: Optional[CollectiveHandle] = None,
+    ranks=None,
+) -> CollectiveHandle:
+    """Event-driven allreduce: pipelined reduce to the root chained into a
+    pipelined broadcast, overlapping at segment granularity."""
+    tree = ctx.tree
+    assert tree is not None and tree.root == ctx.root
+    handle = handle or new_handle(ctx, "allreduce-adapt")
+    handle.name = "allreduce-adapt"
+
+    reduce_handle = reduce_adapt(ctx, ranks=ranks)
+    nseg = len(segment_sizes(ctx.nbytes, ctx.config))
+
+    def on_reduce_done(local: int, _time: float) -> None:
+        if local != ctx.root:
+            return
+        # Root holds the full reduction: broadcast it back down the same
+        # tree. A fresh context keeps tags distinct.
+        bctx = CollectiveContext(
+            ctx.comm, ctx.root, ctx.nbytes, ctx.config, tree=tree,
+            data=reduce_handle.output.get(ctx.root),
+            host_staging=ctx.host_staging,
+        )
+        bhandle = bcast_adapt(bctx)
+        bhandle.on_rank_done.append(
+            lambda l, t: handle.mark_done(l, t, bhandle.output.get(l))
+        )
+        for l, t in list(bhandle.done_time.items()):
+            handle.mark_done(l, t, bhandle.output.get(l))
+
+    reduce_handle.on_rank_done.append(on_reduce_done)
+    for l, t in list(reduce_handle.done_time.items()):
+        on_reduce_done(l, t)
+    return handle
+
+
+def barrier_adapt(
+    ctx: CollectiveContext,
+    handle: Optional[CollectiveHandle] = None,
+    ranks=None,
+) -> CollectiveHandle:
+    """Tree barrier: zero-byte gather up, zero-byte release down."""
+    tree = ctx.tree
+    assert tree is not None and tree.root == ctx.root
+    comm = ctx.comm
+    P = comm.size
+    first_call = handle is None
+    handle = handle or new_handle(ctx, "barrier-adapt")
+    if first_call:
+        ctx.scratch = ctx.world.allocate_tags(2 * P)
+    base_tag = ctx.scratch
+
+    def start_rank(local: int) -> None:
+        children = tree.children[local]
+        parent = tree.parent[local]
+        state = {"up": len(children)}
+
+        def release() -> None:
+            for child in children:
+                ctx.isend(local, child, base_tag + P + child, 0)
+            handle.mark_done(local, ctx.world.engine.now)
+
+        def arrived_up() -> None:
+            if state["up"] > 0:
+                return
+            if parent is None:
+                release()
+                return
+            ctx.isend(local, parent, base_tag + local, 0)
+            down = ctx.irecv(local, parent, base_tag + P + local, 0)
+            down.add_callback(lambda r: release())
+
+        for child in children:
+            req = ctx.irecv(local, child, base_tag + child, 0)
+
+            def on_up(r) -> None:
+                state["up"] -= 1
+                arrived_up()
+
+            req.add_callback(on_up)
+        arrived_up()
+
+    for local in ranks if ranks is not None else range(P):
+        ctx.rt(local).cpu.when_available(start_rank, local)
+    return handle

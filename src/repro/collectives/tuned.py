@@ -1,0 +1,84 @@
+"""Open MPI ``tuned``-style collectives: a fixed decision function picks the
+algorithm from message size and communicator size.
+
+This models the "OMPI-default" baseline of the evaluation: the tuned
+module's decision tree (visible in Figure 9a as the algorithm switch at
+256 KB) chooses among non-pipelined binomial, segmented binomial, and a
+pipelined binary tree for large messages — all built on the non-blocking +
+Waitall framework, and none topology-aware. The paper notes the decision
+tree was never tuned for GPUs, so the same (wrong for GPUs) choices apply on
+GPU communicators (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.collectives.base import CollectiveContext, CollectiveHandle
+from repro.collectives.nonblocking import bcast_nonblocking, reduce_nonblocking
+from repro.trees.builders import binary_tree, binomial_tree, chain_tree
+
+_SMALL = 8 * 1024
+_LARGE = 256 * 1024
+
+
+def _decide_bcast(nbytes: int, size: int) -> tuple[str, str, Optional[int]]:
+    """(algorithm label, tree shape, forced segment size or None)."""
+    if nbytes <= _SMALL or size <= 2:
+        return "binomial", "binomial", None  # single segment, no pipeline
+    if nbytes <= _LARGE:
+        return "segmented-binomial", "binomial", 32 * 1024
+    return "pipelined-binary", "binary", 128 * 1024
+
+
+def _decide_reduce(nbytes: int, size: int) -> tuple[str, str, Optional[int]]:
+    if nbytes <= _SMALL or size <= 2:
+        return "binomial", "binomial", None
+    if nbytes <= _LARGE:
+        return "segmented-binomial", "binomial", 32 * 1024
+    return "pipelined-binary", "binary", 128 * 1024
+
+
+def _tree_for(shape: str, size: int, root: int):
+    builder = {"binomial": binomial_tree, "binary": binary_tree, "chain": chain_tree}[shape]
+    tree = builder(size)
+    return tree.reroot_relabelled(root) if root else tree
+
+
+def _apply_decision(ctx: CollectiveContext, shape: str, seg: Optional[int]) -> None:
+    if getattr(ctx, "_tuned_applied", False):
+        return
+    ctx._tuned_applied = True
+    if ctx.tree is None:
+        ctx.tree = _tree_for(shape, ctx.comm.size, ctx.root)
+    if seg is None:
+        ctx.config = ctx.config.with_(segment_size=max(ctx.nbytes, 1))
+    else:
+        ctx.config = ctx.config.with_(segment_size=seg)
+    # The segment count changed: reserve a fresh tag range wide enough for it
+    # so concurrent collectives can never collide.
+    ctx.base_tag = ctx.world.allocate_tags(
+        len(ctx.config.segments_for(ctx.nbytes)) * max(2, ctx.comm.size)
+    )
+
+
+def bcast_tuned(
+    ctx: CollectiveContext, handle: Optional[CollectiveHandle] = None, ranks=None
+) -> CollectiveHandle:
+    """Broadcast via the tuned decision function."""
+    label, shape, seg = _decide_bcast(ctx.nbytes, ctx.comm.size)
+    _apply_decision(ctx, shape, seg)
+    h = bcast_nonblocking(ctx, handle=handle, ranks=ranks)
+    h.name = f"bcast-tuned[{label}]"
+    return h
+
+
+def reduce_tuned(
+    ctx: CollectiveContext, handle: Optional[CollectiveHandle] = None, ranks=None
+) -> CollectiveHandle:
+    """Reduce via the tuned decision function."""
+    label, shape, seg = _decide_reduce(ctx.nbytes, ctx.comm.size)
+    _apply_decision(ctx, shape, seg)
+    h = reduce_nonblocking(ctx, handle=handle, ranks=ranks)
+    h.name = f"reduce-tuned[{label}]"
+    return h

@@ -1,0 +1,6 @@
+"""Experiment harness: runners, sweeps, and per-figure experiment drivers."""
+
+from repro.harness.runner import RunResult, run_collective
+from repro.harness.report import format_table, slowdown_percent
+
+__all__ = ["RunResult", "run_collective", "format_table", "slowdown_percent"]

@@ -1,0 +1,65 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.harness.report import format_table
+
+#: Scale presets: (cori nodes, stampede2 nodes, psg nodes, iterations).
+SCALES = {
+    "small": {"cori_nodes": 2, "stampede2_nodes": 2, "psg_nodes": 4, "iters": 8},
+    "medium": {"cori_nodes": 8, "stampede2_nodes": 6, "psg_nodes": 8, "iters": 16},
+    "paper": {"cori_nodes": 32, "stampede2_nodes": 32, "psg_nodes": 8, "iters": 40},
+}
+
+
+def default_scale() -> str:
+    """Bench scale, overridable via ``REPRO_BENCH_SCALE``."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        self.rows.append(list(cells))
+
+    def table(self) -> str:
+        out = format_table(f"{self.experiment}: {self.title}", self.headers, self.rows)
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def column(self, header: str) -> list[Any]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def lookup(self, **key: Any) -> list[list[Any]]:
+        """Rows whose named columns equal the given values."""
+        idxs = {self.headers.index(h): v for h, v in key.items()}
+        return [r for r in self.rows if all(r[i] == v for i, v in idxs.items())]
+
+    def value(self, value_col: str, **key: Any) -> Any:
+        """The single ``value_col`` cell of the row matching ``key``."""
+        rows = self.lookup(**key)
+        if len(rows) != 1:
+            raise KeyError(f"{self.experiment}: key {key} matched {len(rows)} rows")
+        return rows[0][self.headers.index(value_col)]
+
+
+def fmt_bytes(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}M"
+    if nbytes >= 1 << 10:
+        return f"{nbytes >> 10}K"
+    return str(nbytes)

@@ -1,0 +1,112 @@
+"""Figure 7 — noise impact on broadcast and reduce (Section 5.1.1).
+
+The paper injects uniform-duration noise at a fixed low frequency — 0-10 ms
+@10 Hz ("5%", i.e. 5% duty cycle) and 0-20 ms @10 Hz ("10%") — and reports
+each library's slowdown at 4 MB. Figure 7a (Cori) compares {Intel MPI,
+Cray MPI, OMPI-default, OMPI-adapt}; Figure 7b (Stampede2) compares
+{Intel MPI, MVAPICH, OMPI-default, OMPI-adapt} with the MVAPICH reduce row
+absent (the paper reports it segfaults at 4 MB).
+
+Methodological scaling (documented in DESIGN/EXPERIMENTS): the paper's noise
+regime is *long-duration, low-frequency* relative to the collective — events
+a few times longer than one collective, arriving much less often than one
+per collective. At our smaller simulated scale the collectives are faster,
+so we preserve the regime by scaling the event duration to 4x the measured
+noise-free time of each library's collective and deriving the frequency from
+the requested duty cycle; noise comes from a single source process placed
+mid-tree (the propagation methodology of the paper's Section 2 analysis).
+Measurements chain iterations per rank (the IMB loop) over a window covering
+many noise periods.
+
+Shape claims the bench asserts: OMPI-adapt's slowdown is the smallest at
+both noise levels, and blocking/ring-based libraries amplify noise by a
+large factor over ADAPT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harness.experiments.common import SCALES, ExperimentResult
+from repro.harness.runner import run_collective
+from repro.harness.report import slowdown_percent
+from repro.machine import cori, stampede2
+from repro.noise.injector import NoiseInjector
+
+MSG = 4 << 20
+NOISE_LEVELS = (5.0, 10.0)
+DURATION_FACTOR = 4.0   # noise event max duration = 4x collective time
+# 80 chained iterations cover ~2 noise periods at 5% duty and ~4 at 10%
+# (noise frequency is derived from the duty cycle and the scaled event
+# duration); events arrive at fixed frequency, so the event *count* per
+# window is deterministic and only durations are random — enough sampling
+# for stable slowdown ordering at fixed seeds.
+MAX_ITERS = 80
+PROBE_ITERS = 12        # short calibration run to size the noise events
+
+
+def _machine(name: str, scale: str):
+    cfg = SCALES[scale]
+    if name == "cori":
+        return cori(nodes=cfg["cori_nodes"])
+    if name == "stampede2":
+        return stampede2(nodes=cfg["stampede2_nodes"])
+    raise ValueError(f"unknown machine {name!r}")
+
+
+def libraries(machine: str) -> list[str]:
+    if machine == "cori":
+        return ["Intel MPI", "Cray MPI", "OMPI-default", "OMPI-adapt"]
+    return ["Intel MPI", "MVAPICH", "OMPI-default", "OMPI-adapt"]
+
+
+def run(machine: str = "cori", scale: str = "small") -> ExperimentResult:
+    spec = _machine(machine, scale)
+    nranks = spec.total_cores
+    noisy_rank = nranks // 3  # an intermediate rank in every topology
+    result = ExperimentResult(
+        experiment="Figure 7" + ("a" if machine == "cori" else "b"),
+        title=f"noise impact, {machine}, {nranks} ranks, 4 MB",
+        headers=["operation", "library", "noise%", "mean_ms", "slowdown%"],
+        notes=[
+            f"single noise source (rank {noisy_rank}); event duration scaled to "
+            f"{DURATION_FACTOR}x the noise-free collective time, duty cycle as labelled",
+        ],
+    )
+    def steady_mean(run) -> float:
+        # Drop the first interval (pipeline fill) so measurements with
+        # different iteration counts are comparable.
+        times = run.times[1:] if len(run.times) > 1 else run.times
+        return sum(times) / len(times)
+
+    for operation in ("bcast", "reduce"):
+        for lib in libraries(machine):
+            if operation == "reduce" and lib == "MVAPICH":
+                continue  # the paper's MVAPICH reduce segfaults at 4 MB
+            # Short probe sizes the noise events; the reported baseline then
+            # runs over the same iteration count as the noisy measurements,
+            # so deep-pipeline convergence effects cancel in the slowdown.
+            probe = steady_mean(
+                run_collective(
+                    spec, nranks, lib, operation, MSG, iterations=PROBE_ITERS, seed=1
+                )
+            )
+            base = steady_mean(
+                run_collective(
+                    spec, nranks, lib, operation, MSG, iterations=MAX_ITERS, seed=1
+                )
+            )
+            result.add(operation, lib, 0.0, round(base * 1e3, 3), 0.0)
+            max_duration = DURATION_FACTOR * probe
+            for noise in NOISE_LEVELS:
+                freq = (noise / 100.0) / (max_duration / 2.0)
+                r = run_collective(
+                    spec, nranks, lib, operation, MSG,
+                    iterations=MAX_ITERS, noise_percent=noise,
+                    noise_ranks=[noisy_rank], seed=int(noise) + 1,
+                    noise_frequency=freq,
+                )
+                slow = slowdown_percent(steady_mean(r), base)
+                result.add(operation, lib, noise, round(steady_mean(r) * 1e3, 3),
+                           round(slow, 1))
+    return result

@@ -1,0 +1,41 @@
+"""Figure 10 — strong scalability with CPU data (Section 5.2.1).
+
+4 MB broadcast/reduce while the node count grows (paper: 8 -> 32 nodes on
+Cori, 128 -> 1024 ranks). The paper's claim, from the Hockney chain model
+T = ns x (alpha + beta m): ADAPT's time is nearly independent of the process
+count, and ADAPT scales best of all libraries.
+
+The bench asserts: ADAPT's time grows by far less than the process count
+does (near-flat), and at the largest scale ADAPT is fastest.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments.common import SCALES, ExperimentResult
+from repro.harness.runner import run_collective
+from repro.machine import cori
+
+MSG = 4 << 20
+LIBRARIES = ["Cray MPI", "Intel MPI", "OMPI-default", "OMPI-adapt"]
+
+
+def node_counts(scale: str) -> list[int]:
+    return {"small": [1, 2, 4], "medium": [2, 4, 8], "paper": [8, 16, 32]}[scale]
+
+
+def run(scale: str = "small", nodes: list[int] | None = None) -> ExperimentResult:
+    iters = max(3, SCALES[scale]["iters"] // 4)
+    nodes = nodes or node_counts(scale)
+    result = ExperimentResult(
+        experiment="Figure 10",
+        title=f"strong scaling, cori, 4 MB, nodes {nodes}",
+        headers=["operation", "library", "nodes", "nranks", "mean_ms"],
+    )
+    for operation in ("bcast", "reduce"):
+        for n in nodes:
+            spec = cori(nodes=n)
+            nranks = spec.total_cores
+            for lib in LIBRARIES:
+                r = run_collective(spec, nranks, lib, operation, MSG, iterations=iters)
+                result.add(operation, lib, n, nranks, round(r.mean_time * 1e3, 3))
+    return result

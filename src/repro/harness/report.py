@@ -1,0 +1,32 @@
+"""Plain-text tables for experiment output (what the benches print)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def slowdown_percent(noisy: float, baseline: float) -> float:
+    """Percentage slowdown the paper annotates above the noise bars."""
+    if baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return 100.0 * (noisy - baseline) / baseline
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule, ready for terminal output."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title)]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

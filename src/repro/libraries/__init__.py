@@ -1,0 +1,27 @@
+"""Behavioural models of the MPI libraries the paper compares against."""
+
+from repro.libraries.presets import (
+    LibraryModel,
+    cray_mpi,
+    intel_mpi,
+    intel_topo_bcast_variants,
+    intel_topo_reduce_variants,
+    mvapich,
+    ompi_adapt,
+    ompi_default,
+    ompi_default_topo,
+    library_by_name,
+)
+
+__all__ = [
+    "LibraryModel",
+    "cray_mpi",
+    "intel_mpi",
+    "intel_topo_bcast_variants",
+    "intel_topo_reduce_variants",
+    "mvapich",
+    "ompi_adapt",
+    "ompi_default",
+    "ompi_default_topo",
+    "library_by_name",
+]

@@ -1,0 +1,32 @@
+"""Hardware model: clusters, nodes, sockets, cores, GPUs, and link parameters.
+
+This subsystem plays the role hwloc + the PMIx runtime play for the real
+ADAPT (Section 3.2.1 of the paper): it exposes, to every rank, the placement
+of every other rank and the communication level (intra-socket, inter-socket,
+inter-node, PCIe hop count) between any pair — the inputs to the
+topology-aware tree builder and to network path routing.
+"""
+
+from repro.machine.spec import (
+    CommLevel,
+    GpuSpec,
+    LinkParams,
+    MachineSpec,
+    NodeSpec,
+)
+from repro.machine.topology import Placement, Topology
+from repro.machine.presets import cori, stampede2, psg_gpu, small_test_machine
+
+__all__ = [
+    "CommLevel",
+    "GpuSpec",
+    "LinkParams",
+    "MachineSpec",
+    "NodeSpec",
+    "Placement",
+    "Topology",
+    "cori",
+    "stampede2",
+    "psg_gpu",
+    "small_test_machine",
+]

@@ -1,0 +1,115 @@
+"""Rank placement and topology queries (the hwloc/PMIx stand-in).
+
+Ranks are placed block-wise: rank ``r`` lives on node ``r // cores_per_node``,
+socket ``(r % cores_per_node) // cores_per_socket``, core
+``r % cores_per_socket`` — the default "by core" mapping of mpirun. For GPU
+runs, one rank is bound to one GPU (Section 4's assumption), placed
+block-wise over sockets the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.machine.spec import CommLevel, MachineSpec
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Physical location of one rank."""
+
+    rank: int
+    node: int
+    socket: int
+    core: int          # index within the socket
+    gpu: int | None    # index within the socket, when GPU-bound
+
+    @property
+    def socket_global(self) -> int:
+        """Socket id unique across the whole machine (for link naming)."""
+        return self.node * 1_000_000 + self.socket
+
+
+class Topology:
+    """Placement of ``nranks`` ranks on a :class:`MachineSpec`.
+
+    ``gpu_bound=True`` binds one rank per GPU instead of one per core.
+    """
+
+    def __init__(self, spec: MachineSpec, nranks: int, gpu_bound: bool = False):
+        self.spec = spec
+        self.nranks = nranks
+        self.gpu_bound = gpu_bound
+        if gpu_bound:
+            if spec.node.gpu is None:
+                raise ValueError(f"machine {spec.name!r} has no GPUs")
+            per_node = spec.node.gpus
+        else:
+            per_node = spec.node.cores
+        if nranks > per_node * spec.nodes:
+            raise ValueError(
+                f"{nranks} ranks do not fit on {spec.nodes} nodes "
+                f"x {per_node} slots ({spec.name})"
+            )
+        self._per_node = per_node
+        if gpu_bound:
+            assert spec.node.gpu is not None
+            self._per_socket = spec.node.gpu.gpus_per_socket
+        else:
+            self._per_socket = spec.node.cores_per_socket
+
+    def placement(self, rank: int) -> Placement:
+        """Location of ``rank``."""
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        node = rank // self._per_node
+        within = rank % self._per_node
+        socket = within // self._per_socket
+        slot = within % self._per_socket
+        if self.gpu_bound:
+            return Placement(rank, node, socket, core=slot, gpu=slot)
+        return Placement(rank, node, socket, core=slot, gpu=None)
+
+    @lru_cache(maxsize=None)
+    def _placement_cached(self, rank: int) -> Placement:
+        return self.placement(rank)
+
+    def level(self, a: int, b: int) -> CommLevel:
+        """Outermost boundary ranks ``a`` and ``b`` straddle."""
+        if a == b:
+            return CommLevel.SELF
+        pa, pb = self._placement_cached(a), self._placement_cached(b)
+        if pa.node != pb.node:
+            return CommLevel.INTER_NODE
+        if pa.socket != pb.socket:
+            return CommLevel.INTER_SOCKET
+        return CommLevel.INTRA_SOCKET
+
+    def node_of(self, rank: int) -> int:
+        return self._placement_cached(rank).node
+
+    def socket_of(self, rank: int) -> tuple[int, int]:
+        p = self._placement_cached(rank)
+        return (p.node, p.socket)
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        return [r for r in range(self.nranks) if self.node_of(r) == node]
+
+    def ranks_on_socket(self, node: int, socket: int) -> list[int]:
+        return [r for r in range(self.nranks) if self.socket_of(r) == (node, socket)]
+
+    def group_key(self, rank: int, level: CommLevel) -> tuple:
+        """Identifier of the ``level``-group containing ``rank``.
+
+        Two ranks are in the same group iff they can communicate at a level
+        *at or below* ``level``. Used by the topology-aware tree builder.
+        """
+        p = self._placement_cached(rank)
+        if level == CommLevel.INTRA_SOCKET:
+            return (p.node, p.socket)
+        if level == CommLevel.INTER_SOCKET:
+            return (p.node,)
+        if level == CommLevel.INTER_NODE:
+            return ()
+        raise ValueError(f"no grouping at level {level!r}")

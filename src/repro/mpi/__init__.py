@@ -1,0 +1,50 @@
+"""Simulated MPI runtime.
+
+The stand-in for Open MPI's communication engine (DESIGN.md S5). Exposes, per
+rank, non-blocking point-to-point operations with **completion callbacks** —
+the low-level hook the real ADAPT attaches ``Isend_cb``/``Irecv_cb`` to — and,
+on top of those, a generator-coroutine layer (:mod:`repro.mpi.proclet`) with
+blocking ``Send``/``Recv``/``Wait``/``Waitall`` semantics used to implement
+the paper's baseline collectives (its Algorithms 1 and 2).
+
+Protocols: messages at or below the eager threshold are buffered eagerly
+(unexpected arrivals pay an extra copy — Section 2.2.1's motivation for
+``M > N``); larger messages use a rendezvous handshake (RTS/CTS), which is
+how a delayed receiver stalls a blocking sender (Section 2.1.1).
+"""
+
+from repro.mpi.datatypes import DataType, BYTE, FLOAT32, FLOAT64, INT32, INT64
+from repro.mpi.ops import ReduceOp, SUM, MAX, MIN, PROD
+from repro.mpi.request import Request
+from repro.mpi.runtime import MpiWorld, RankRuntime
+from repro.mpi.communicator import Communicator
+from repro.mpi.proclet import (
+    Compute,
+    ProcletDriver,
+    Sleep,
+    WaitAll,
+    WaitAny,
+)
+
+__all__ = [
+    "DataType",
+    "BYTE",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "ReduceOp",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "Request",
+    "MpiWorld",
+    "RankRuntime",
+    "Communicator",
+    "Compute",
+    "Sleep",
+    "WaitAll",
+    "WaitAny",
+    "ProcletDriver",
+]

@@ -1,0 +1,29 @@
+"""MPI datatypes (sizes + numpy dtype mapping)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataType:
+    """An MPI elementary datatype."""
+
+    name: str
+    size: int          # bytes per element
+    np_dtype: np.dtype
+
+    def count_for(self, nbytes: int) -> int:
+        """Element count in a buffer of ``nbytes`` (must divide evenly)."""
+        if nbytes % self.size:
+            raise ValueError(f"{nbytes} bytes is not a whole number of {self.name}")
+        return nbytes // self.size
+
+
+BYTE = DataType("byte", 1, np.dtype(np.uint8))
+INT32 = DataType("int32", 4, np.dtype(np.int32))
+INT64 = DataType("int64", 8, np.dtype(np.int64))
+FLOAT32 = DataType("float32", 4, np.dtype(np.float32))
+FLOAT64 = DataType("float64", 8, np.dtype(np.float64))

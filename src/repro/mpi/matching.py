@@ -1,0 +1,76 @@
+"""Message matching: posted-receive and unexpected-message queues.
+
+Matching is exact on ``(source, tag)`` with FIFO order within a key — the
+collectives in this repository encode the segment index in the tag, so exact
+matching reproduces MPI's non-overtaking guarantee for every pattern used
+here (DESIGN.md notes this as the one simplification over full wildcard
+matching).
+
+The unexpected queue is not free: an eager message that arrives before its
+receive is posted is buffered and later *copied* into the user buffer, an
+extra memcpy the paper calls out as the reason ADAPT posts more recvs than
+sends in flight (``M > N``, Section 2.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mpi.request import Request
+
+
+@dataclass
+class InboundMessage:
+    """An arrived eager payload, or a rendezvous announcement (RTS)."""
+
+    src: int
+    tag: int
+    nbytes: int
+    eager: bool
+    data: Any = None
+    arrival_time: float = 0.0
+    # Rendezvous only: opaque handle the runtime uses to send the CTS back.
+    rendezvous_token: Any = None
+
+
+@dataclass
+class Matcher:
+    """Per-rank matching state."""
+
+    posted: dict[tuple[int, int], deque[Request]] = field(default_factory=dict)
+    inbound: dict[tuple[int, int], deque[InboundMessage]] = field(default_factory=dict)
+    unexpected_eager_count: int = 0
+
+    def post_recv(self, req: Request) -> Optional[InboundMessage]:
+        """Register a posted receive; returns a message if one already arrived."""
+        key = (req.peer, req.tag)
+        queue = self.inbound.get(key)
+        if queue:
+            msg = queue.popleft()
+            if not queue:
+                del self.inbound[key]
+            return msg
+        self.posted.setdefault(key, deque()).append(req)
+        return None
+
+    def arrive(self, msg: InboundMessage) -> Optional[Request]:
+        """Register an arrival; returns the matching posted recv if any."""
+        key = (msg.src, msg.tag)
+        queue = self.posted.get(key)
+        if queue:
+            req = queue.popleft()
+            if not queue:
+                del self.posted[key]
+            return req
+        self.inbound.setdefault(key, deque()).append(msg)
+        if msg.eager:
+            self.unexpected_eager_count += 1
+        return None
+
+    def pending_posted(self) -> int:
+        return sum(len(q) for q in self.posted.values())
+
+    def pending_inbound(self) -> int:
+        return sum(len(q) for q in self.inbound.values())

@@ -1,0 +1,34 @@
+"""Predefined MPI reduction operations.
+
+Each op carries the actual numpy combine function — used when a simulation
+carries real payloads so tests can assert bit-correct reduce results — and
+is associative/commutative, matching the predefined MPI ops the paper's
+CUDA kernels implement (Section 4.2 footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """One reduction operator."""
+
+    name: str
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, a, b):
+        """Combine two operands (arrays or scalars) elementwise."""
+        return self.combine(a, b)
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MAX = ReduceOp("max", np.maximum)
+MIN = ReduceOp("min", np.minimum)
+
+ALL_OPS = (SUM, PROD, MAX, MIN)

@@ -1,0 +1,150 @@
+"""Proclets: blocking-style MPI programs as generator coroutines.
+
+A proclet is a Python generator running "on" a rank: it yields awaitables and
+is resumed — on that rank's CPU, so noise delays the resumption — when they
+complete. This is the layer the paper's baseline implementations live on:
+
+* Algorithm 1 (blocking): ``yield isend(...)`` / ``yield irecv(...)`` after
+  every post — each P2P fully completes before the next starts.
+* Algorithm 2 (non-blocking + Waitall): post a batch, then
+  ``yield WaitAll(reqs)`` — the synchronization whose noise behaviour
+  Section 2.1.2 analyzes.
+
+ADAPT itself (Algorithm 3) does not use proclets: it attaches callbacks
+directly to requests and never waits.
+
+Awaitables a proclet may yield:
+
+* a :class:`~repro.mpi.request.Request` — wait for one operation,
+* :class:`WaitAll` — wait for every request in a batch,
+* :class:`WaitAny` — resumed with ``(index, request)`` of the first
+  completion,
+* :class:`Compute` — charge local computation time to the CPU,
+* :class:`Sleep` — idle without occupying the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.mpi.request import Request
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    """Wait for all requests in the batch (MPI_Waitall)."""
+
+    requests: tuple[Request, ...]
+
+    def __init__(self, requests: Sequence[Request]):
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True)
+class WaitAny:
+    """Wait for the first completion; resumes with ``(index, request)``."""
+
+    requests: tuple[Request, ...]
+
+    def __init__(self, requests: Sequence[Request]):
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Charge ``seconds`` of computation to the rank's CPU."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Advance time without occupying the CPU."""
+
+    seconds: float
+
+
+class ProcletDriver:
+    """Runs one generator to completion on a rank's CPU."""
+
+    def __init__(
+        self,
+        runtime,
+        gen: Generator,
+        on_done: Optional[Callable[["ProcletDriver"], None]] = None,
+    ):
+        self.runtime = runtime
+        self.gen = gen
+        self.on_done = on_done
+        self.done = False
+        self.finish_time: Optional[float] = None
+        self.result: Any = None
+        # Kick off on the CPU (a noisy rank starts its program late).
+        runtime.cpu.when_available(self._step, None)
+
+    def _dispatch(self, awaited: Any) -> None:
+        if isinstance(awaited, Request):
+            awaited.add_callback(lambda req: self._step(req))
+        elif isinstance(awaited, WaitAll):
+            self._wait_all(awaited.requests)
+        elif isinstance(awaited, WaitAny):
+            self._wait_any(awaited.requests)
+        elif isinstance(awaited, Compute):
+            self.runtime.cpu.execute(awaited.seconds, self._step, None)
+        elif isinstance(awaited, Sleep):
+            self.runtime.engine.call_after(awaited.seconds, self._step, None)
+        elif isinstance(awaited, (list, tuple)):
+            self._wait_all(tuple(awaited))
+        else:
+            raise TypeError(f"proclet yielded unsupported awaitable {awaited!r}")
+
+    def _wait_all(self, requests: tuple[Request, ...]) -> None:
+        pending = [r for r in requests if not r.completed]
+        if not pending:
+            # Still resume via the CPU: Waitall is a call the process makes.
+            self.runtime.cpu.when_available(self._step, None)
+            return
+        remaining = len(pending)
+
+        def one_done(_req: Request) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self._step(None)
+
+        for r in pending:
+            r.add_callback(one_done)
+
+    def _wait_any(self, requests: tuple[Request, ...]) -> None:
+        for i, r in enumerate(requests):
+            if r.completed:
+                self.runtime.cpu.when_available(self._step, (i, r))
+                return
+        fired = False
+
+        def first_done(i: int, req: Request) -> None:
+            nonlocal fired
+            if fired:
+                return
+            fired = True
+            self._step((i, req))
+
+        for i, r in enumerate(requests):
+            r.add_callback(lambda req, i=i: first_done(i, req))
+
+    def _step(self, value: Any) -> None:
+        """Resume the generator with ``value`` (runs in CPU/event context)."""
+        try:
+            awaited = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(awaited)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self.finish_time = self.runtime.engine.now
+        if self.on_done is not None:
+            self.on_done(self)

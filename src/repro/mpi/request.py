@@ -1,0 +1,70 @@
+"""Requests: handles to in-flight non-blocking operations.
+
+A :class:`Request` completes exactly once; completion callbacks added with
+:meth:`Request.add_callback` run on the owning rank's CPU — this is the hook
+ADAPT's ``set_Isend_cb`` / ``set_Irecv_cb`` (paper Figure 4) attach to, and
+also what the proclet layer's ``Wait``/``Waitall`` suspend on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Request:
+    """Handle to one non-blocking send or recv."""
+
+    __slots__ = (
+        "kind",
+        "rank",
+        "peer",
+        "tag",
+        "nbytes",
+        "completed",
+        "completion_time",
+        "data",
+        "_callbacks",
+        "_runtime",
+    )
+
+    def __init__(self, runtime, kind: str, rank: int, peer: int, tag: int, nbytes: int):
+        self.kind = kind        # "send" | "recv"
+        self.rank = rank        # owning rank
+        self.peer = peer        # other side
+        self.tag = tag
+        self.nbytes = nbytes
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.data: Any = None   # payload, set on recv completion in data mode
+        self._callbacks: list[Callable[["Request"], None]] = []
+        self._runtime = runtime
+
+    def add_callback(self, fn: Callable[["Request"], None]) -> None:
+        """Run ``fn(request)`` on the owning rank's CPU at completion.
+
+        If the request already completed, the callback is scheduled
+        immediately (still via the CPU, so noise delays it).
+        """
+        if self.completed:
+            self._runtime.cpu.when_available(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _complete(self, now: float, data: Any = None) -> None:
+        """Mark complete and dispatch callbacks (runtime-internal)."""
+        if self.completed:
+            raise RuntimeError(f"request completed twice: {self!r}")
+        self.completed = True
+        self.completion_time = now
+        if data is not None:
+            self.data = data
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._runtime.cpu.when_available(fn, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.completed else "pending"
+        return (
+            f"<Request {self.kind} rank={self.rank} peer={self.peer} "
+            f"tag={self.tag} {self.nbytes}B {state}>"
+        )

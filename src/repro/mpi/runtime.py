@@ -1,0 +1,339 @@
+"""The simulated MPI world: per-rank runtimes over the contended fabric.
+
+Every rank owns a :class:`~repro.sim.cpu.Cpu`; posting a send or recv,
+matching an arrival, running a completion callback, and performing local
+reduction arithmetic all serialize on it, each charged the machine's
+per-message overhead ``o``. Noise injected into a rank's CPU therefore delays
+exactly the activities a descheduled MPI process would delay — the paper's
+propagation mechanism.
+
+Protocol summary (see :mod:`repro.mpi` docstring):
+
+* **eager** (size <= threshold): the sender's CPU posts the message and the
+  send request completes locally (buffered send). If the receiver has no
+  matching posted recv, the payload waits in the unexpected queue and pays an
+  extra memcpy when the recv finally arrives.
+* **rendezvous**: the sender's CPU emits an RTS control message; the data
+  flow starts only after the receiver has a matching posted recv and its CTS
+  reaches the sender. The send request completes when the data drains. This
+  handshake is the synchronization through which a noisy receiver delays a
+  blocking sender (Section 2.1.1).
+
+GPU ranks (Section 4) declare a default memory space; transfers route over
+the PCIe/QPI/NIC paths of :class:`~repro.network.fabric.Fabric`, and GPU
+reduction work runs on simulated CUDA streams instead of the host CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_RUNTIME, RuntimeConfig
+from repro.machine.spec import MachineSpec
+from repro.machine.topology import Topology
+from repro.mpi.matching import InboundMessage, Matcher
+from repro.mpi.request import Request
+from repro.network.fabric import Fabric, MemSpace
+from repro.sim.cpu import Cpu
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+
+
+def _copy_payload(data: Any) -> Any:
+    """Buffer a payload at send time (value semantics, like MPI)."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    return data
+
+
+class RankRuntime:
+    """One rank's communication engine."""
+
+    def __init__(self, world: "MpiWorld", rank: int):
+        self.world = world
+        self.rank = rank
+        self.cpu = Cpu(world.engine, name=f"cpu:{rank}")
+        self.matcher = Matcher()
+        self.space = MemSpace.GPU if world.gpu_bound else MemSpace.HOST
+        # GPU ranks: async CUDA streams for offloaded reductions/copies.
+        self._gpu_streams: list[float] = []
+        if world.gpu_bound:
+            gpu = world.spec.node.gpu
+            assert gpu is not None
+            self._gpu_streams = [0.0] * gpu.streams
+        # Statistics.
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.bytes_sent = 0
+        self.reduce_seconds = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        return self.world.engine
+
+    @property
+    def _o(self) -> float:
+        return self.world.spec.cpu_overhead
+
+    def _trace(self, kind: str, detail: str = "") -> None:
+        self.world.trace.record(self.engine.now, self.rank, kind, detail)
+
+    # -- non-blocking point-to-point -------------------------------------------
+
+    def isend(
+        self,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        data: Any = None,
+        space: Optional[MemSpace] = None,
+        dst_space: Optional[MemSpace] = None,
+    ) -> Request:
+        """Post a non-blocking send. Returns its request immediately."""
+        if dst == self.rank:
+            raise ValueError(f"rank {self.rank}: self-send not supported; use a copy")
+        req = Request(self, "send", self.rank, dst, tag, nbytes)
+        self.sends_posted += 1
+        self.bytes_sent += nbytes
+        payload = _copy_payload(data) if self.world.carry_data else None
+        src_space = space if space is not None else self.space
+        to_space = dst_space if dst_space is not None else self.world.ranks[dst].space
+        eager = nbytes <= self.world.config.eager_threshold
+        self._trace("isend", f"-> {dst} tag={tag} {nbytes}B {'eager' if eager else 'rndv'}")
+        # Posting costs CPU time; the wire action happens when the CPU gets
+        # to it (noise on this rank delays its own sends).
+        if eager:
+            self.cpu.execute(
+                self._o, self._eager_send_start, req, payload, src_space, to_space
+            )
+        else:
+            self.cpu.execute(
+                self._o, self._rndv_send_rts, req, payload, src_space, to_space
+            )
+        return req
+
+    def irecv(self, src: int, tag: int, nbytes: int) -> Request:
+        """Post a non-blocking receive. Returns its request immediately."""
+        if src == self.rank:
+            raise ValueError(f"rank {self.rank}: self-recv not supported")
+        req = Request(self, "recv", self.rank, src, tag, nbytes)
+        self.recvs_posted += 1
+        self._trace("irecv", f"<- {src} tag={tag} {nbytes}B")
+        self.cpu.execute(self._o, self._post_recv, req)
+        return req
+
+    # -- eager protocol ----------------------------------------------------------
+
+    def _eager_send_start(
+        self, req: Request, payload: Any, src_space: MemSpace, dst_space: MemSpace
+    ) -> None:
+        now = self.engine.now
+        dst_rt = self.world.ranks[req.peer]
+
+        def on_wire_complete(flow) -> None:
+            msg = InboundMessage(
+                src=req.rank,
+                tag=req.tag,
+                nbytes=req.nbytes,
+                eager=True,
+                data=payload,
+                arrival_time=self.engine.now,
+            )
+            dst_rt._handle_arrival(msg)
+
+        self.world.fabric.start_transfer(
+            req.rank, req.peer, req.nbytes, on_wire_complete, src_space, dst_space,
+            taginfo=("eager", req.rank, req.peer, req.tag),
+        )
+        # Buffered send: locally complete once the message is on the wire.
+        req._complete(now)
+
+    # -- rendezvous protocol -------------------------------------------------------
+
+    def _rndv_send_rts(
+        self, req: Request, payload: Any, src_space: MemSpace, dst_space: MemSpace
+    ) -> None:
+        dst_rt = self.world.ranks[req.peer]
+        token = (req, payload, src_space, dst_space)
+
+        def on_rts_arrival() -> None:
+            msg = InboundMessage(
+                src=req.rank,
+                tag=req.tag,
+                nbytes=req.nbytes,
+                eager=False,
+                arrival_time=self.engine.now,
+                rendezvous_token=token,
+            )
+            dst_rt._handle_arrival(msg)
+
+        # Control messages are latency-only (see Fabric.start_control).
+        self.world.fabric.start_control(
+            req.rank, req.peer, self.world.config.control_bytes, on_rts_arrival
+        )
+
+    def _rndv_send_cts(self, msg: InboundMessage, recv_req: Request) -> None:
+        """Receiver side: matching recv exists; tell the sender to fire."""
+        send_req, payload, src_space, dst_space = msg.rendezvous_token
+        sender_rt = self.world.ranks[msg.src]
+
+        def on_cts_arrival() -> None:
+            # Sender CPU processes the CTS, then the data flow starts.
+            sender_rt.cpu.execute(
+                sender_rt._o,
+                sender_rt._rndv_send_data,
+                send_req,
+                payload,
+                src_space,
+                dst_space,
+                recv_req,
+            )
+
+        self.world.fabric.start_control(
+            self.rank, msg.src, self.world.config.control_bytes, on_cts_arrival
+        )
+
+    def _rndv_send_data(
+        self,
+        send_req: Request,
+        payload: Any,
+        src_space: MemSpace,
+        dst_space: MemSpace,
+        recv_req: Request,
+    ) -> None:
+        dst_rt = self.world.ranks[send_req.peer]
+
+        def on_data_complete(flow) -> None:
+            # Sender may reuse its buffer: complete the send request. The
+            # notification itself is CPU work on the sender.
+            self.cpu.execute(0.0, self._complete_send, send_req)
+            # Receiver CPU processes delivery into the posted buffer.
+            dst_rt.cpu.execute(
+                dst_rt._o, dst_rt._deliver, recv_req, payload
+            )
+
+        self.world.fabric.start_transfer(
+            send_req.rank, send_req.peer, send_req.nbytes, on_data_complete,
+            src_space, dst_space,
+            taginfo=("data", send_req.rank, send_req.peer, send_req.tag),
+        )
+
+    def _complete_send(self, req: Request) -> None:
+        self._trace("send-done", f"-> {req.peer} tag={req.tag} {req.nbytes}B")
+        req._complete(self.engine.now)
+
+    # -- receiver-side handlers -------------------------------------------------------
+
+    def _post_recv(self, req: Request) -> None:
+        msg = self.matcher.post_recv(req)
+        if msg is None:
+            return
+        if msg.eager:
+            # Unexpected eager message: pay the extra buffered copy.
+            copy_time = msg.nbytes / self.world.spec.memcpy_bandwidth
+            self._trace("unexpected", f"copy {msg.nbytes}B from {msg.src} tag={msg.tag}")
+            self.cpu.execute(copy_time, self._deliver, req, msg.data)
+        else:
+            self._rndv_send_cts(msg, req)
+
+    def _handle_arrival(self, msg: InboundMessage) -> None:
+        """An eager payload or RTS reached this rank (wire event)."""
+        self.cpu.execute(self._o, self._match_arrival, msg)
+
+    def _match_arrival(self, msg: InboundMessage) -> None:
+        req = self.matcher.arrive(msg)
+        if req is None:
+            if msg.eager:
+                self._trace("buffered", f"eager {msg.nbytes}B from {msg.src} tag={msg.tag}")
+            return
+        if msg.eager:
+            self._deliver(req, msg.data)
+        else:
+            self._rndv_send_cts(msg, req)
+
+    def _deliver(self, req: Request, payload: Any) -> None:
+        self._trace("recv-done", f"<- {req.peer} tag={req.tag} {req.nbytes}B")
+        req._complete(self.engine.now, data=payload)
+
+    # -- local compute ------------------------------------------------------------------
+
+    def compute(self, seconds: float, fn: Optional[Callable] = None, *args) -> None:
+        """Charge application compute time to this rank's CPU."""
+        self.cpu.execute(seconds, fn, *args)
+
+    def reduce_local(
+        self,
+        nbytes: int,
+        fn: Optional[Callable] = None,
+        *args,
+        on_gpu: bool = False,
+    ) -> None:
+        """Charge one reduction pass over ``nbytes`` of operands.
+
+        ``on_gpu=True`` offloads to the least-loaded simulated CUDA stream
+        (Section 4.2): the rank's CPU only pays the kernel-launch overhead
+        and the arithmetic overlaps with communication.
+        """
+        if on_gpu:
+            gpu = self.world.spec.node.gpu
+            if gpu is None:
+                raise ValueError("reduce offload requested on a GPU-less machine")
+            start = self.cpu.execute(gpu.kernel_launch)
+            idx = min(range(len(self._gpu_streams)), key=self._gpu_streams.__getitem__)
+            begin = max(start, self._gpu_streams[idx])
+            end = begin + nbytes / gpu.reduce_bandwidth
+            self._gpu_streams[idx] = end
+            self.reduce_seconds += end - begin
+            if fn is not None:
+                self.engine.call_at(end, fn, *args)
+        else:
+            duration = nbytes / self.world.spec.cpu_reduce_bandwidth
+            self.reduce_seconds += duration
+            self.cpu.execute(duration, fn, *args)
+
+
+class MpiWorld:
+    """A job: ``nranks`` ranks placed on a machine, sharing one fabric."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        nranks: int,
+        config: RuntimeConfig = DEFAULT_RUNTIME,
+        gpu_bound: bool = False,
+        carry_data: bool = False,
+        trace: bool = False,
+        gpudirect: bool = True,
+    ):
+        self.spec = spec
+        self.nranks = nranks
+        self.config = config
+        self.gpu_bound = gpu_bound
+        self.carry_data = carry_data
+        self.engine = Engine()
+        self.topology = Topology(spec, nranks, gpu_bound=gpu_bound)
+        self.fabric = Fabric(self.engine, spec, self.topology, gpudirect=gpudirect)
+        self.trace = TraceRecorder(enabled=trace)
+        self.ranks = [RankRuntime(self, r) for r in range(nranks)]
+        self._next_tag = 0
+
+    def allocate_tags(self, count: int) -> int:
+        """Reserve a contiguous tag range (collectives namespace segments)."""
+        base = self._next_tag
+        self._next_tag += max(1, count)
+        return base
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation until quiescence. Returns final time."""
+        return self.engine.run(until=until)
+
+    def inject_noise(self, rank: int, duration: float) -> None:
+        """Inject one noise interval into ``rank``'s CPU, starting now."""
+        self.ranks[rank].cpu.inject_noise(duration)
+
+    def total_unexpected(self) -> int:
+        return sum(rt.matcher.unexpected_eager_count for rt in self.ranks)

@@ -1,0 +1,25 @@
+"""Contended network substrate.
+
+Every point-to-point transfer in the simulated MPI runtime becomes a
+:class:`Flow` over an explicit path of :class:`Link` objects (socket memory,
+QPI, NIC, PCIe lanes). Bandwidth on each link is shared **max-min fairly**
+among the flows crossing it, with per-flow rate caps (a flow can never exceed
+its narrowest level's pair bandwidth). Rates are reallocated whenever a flow
+starts or finishes, restricted to the connected component of links/flows the
+change can affect.
+
+This is the mechanism behind the paper's two performance stories:
+
+* Section 3.2.2 — three concurrent sends over inter-node, inter-socket and
+  intra-socket links each progress at their own link speed; a ``Waitall``
+  then forces the *program* to wait for the slowest, not the network.
+* Section 4.1 — three flows sharing one PCIe direction each get one third of
+  its bandwidth, motivating the explicit CPU staging buffer.
+"""
+
+from repro.network.links import Link
+from repro.network.flows import Flow
+from repro.network.fairshare import FairShareNetwork
+from repro.network.fabric import Fabric, MemSpace, Route
+
+__all__ = ["Link", "Flow", "FairShareNetwork", "Fabric", "MemSpace", "Route"]

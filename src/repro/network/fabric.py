@@ -1,0 +1,359 @@
+"""Fabric: instantiates the links of a machine and routes transfers.
+
+Link inventory built from a :class:`~repro.machine.spec.MachineSpec`:
+
+* per socket: one aggregate memory link (intra-socket flows contend here;
+  capacity = ``shm.bandwidth * shm_concurrency``),
+* per node and direction: one QPI link,
+* per node and direction: one NIC link (all inter-node flows of a node share
+  it — one NIC per node unless ``nics_per_node`` says otherwise),
+* per socket (GPU machines): PCIe host-to-device, device-to-host and
+  GPU-to-GPU peer (CUDA IPC) links, each a separate set of lanes.
+
+Routing returns the ordered link path, the summed path latency, and the
+per-flow rate cap (the narrowest level's pair bandwidth), for any combination
+of host/GPU endpoints. The data-path rules are the paper's Section 4 rules:
+same-socket GPU pairs use PCIe peer-to-peer; cross-socket GPU pairs stage
+through CPU memory; inter-node GPU pairs either use GPUDirect (D2H PCIe ->
+NIC -> PCIe H2D) or stage through host buffers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.machine.spec import CommLevel, MachineSpec
+from repro.machine.topology import Topology
+from repro.network.fairshare import FairShareNetwork
+from repro.network.flows import Flow
+from repro.network.links import Link
+from repro.sim.engine import Engine
+
+
+class MemSpace(enum.Enum):
+    """Which memory an endpoint buffer lives in."""
+
+    HOST = "host"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class Route:
+    """Resolved path for one transfer."""
+
+    links: tuple[Link, ...]
+    latency: float
+    rate_cap: float
+
+    def uncontended_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.rate_cap
+
+
+class Fabric:
+    """Link inventory + routing for one simulated machine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: MachineSpec,
+        topology: Topology,
+        shm_concurrency: Optional[int] = None,
+        gpudirect: bool = True,
+        nic_shares_gpu_pcie: bool = False,
+    ):
+        # Socket memory aggregate defaults to one pair-bandwidth share per
+        # core: a fully pipelined intra-socket chain is then uncontended,
+        # keeping the inter-node fabric the slowest level — the paper's
+        # stated regime (Section 3.2.2).
+        if shm_concurrency is None:
+            shm_concurrency = max(4, spec.node.cores_per_socket)
+        self.engine = engine
+        self.spec = spec
+        self.topology = topology
+        self.network = FairShareNetwork(engine)
+        self.gpudirect = gpudirect
+        self.nic_shares_gpu_pcie = nic_shares_gpu_pcie
+        self._links: dict[str, Link] = {}
+        self._shm_concurrency = shm_concurrency
+        self._route_cache: dict[tuple, Route] = {}
+        # In-order data channels: one data transfer at a time per
+        # (src, dst, spaces) connection, like an MPI BTL queue pair. Control
+        # messages (RTS/CTS) bypass, so handshakes overlap data — the overlap
+        # ADAPT's in-flight window exploits.
+        self._channel_busy: dict[tuple, bool] = {}
+        self._channel_queue: dict[tuple, list] = {}
+
+    # -- link inventory ------------------------------------------------------
+
+    def _link(self, name: str, capacity: float) -> Link:
+        link = self._links.get(name)
+        if link is None:
+            link = Link(name, capacity)
+            self._links[name] = link
+        return link
+
+    def socket_mem_link(self, node: int, socket: int) -> Link:
+        cap = self.spec.shm.bandwidth * self._shm_concurrency
+        return self._link(f"shm:n{node}.s{socket}", cap)
+
+    def qpi_link(self, node: int, src_socket: int, dst_socket: int) -> Link:
+        direction = f"{src_socket}->{dst_socket}"
+        return self._link(f"qpi:n{node}:{direction}", self.spec.qpi.bandwidth)
+
+    def nic_out_link(self, node: int) -> Link:
+        cap = self.spec.fabric.bandwidth * self.spec.nics_per_node
+        return self._link(f"nic-out:n{node}", cap)
+
+    def nic_in_link(self, node: int) -> Link:
+        cap = self.spec.fabric.bandwidth * self.spec.nics_per_node
+        return self._link(f"nic-in:n{node}", cap)
+
+    def _gpu_params(self):
+        gpu = self.spec.node.gpu
+        if gpu is None:
+            raise ValueError(f"machine {self.spec.name!r} has no GPUs")
+        return gpu
+
+    def gpu_out_link(self, node: int, socket: int, gpu: int) -> Link:
+        """One GPU's PCIe egress lane — shared by D2H copies, peer-to-peer
+        sends and GPUDirect sends from that GPU (the congestion of the
+        paper's Figure 6a)."""
+        return self._link(
+            f"pcie-out:n{node}.s{socket}.g{gpu}", self._gpu_params().pcie.bandwidth
+        )
+
+    def gpu_in_link(self, node: int, socket: int, gpu: int) -> Link:
+        """One GPU's PCIe ingress lane (H2D copies, peer receives)."""
+        return self._link(
+            f"pcie-in:n{node}.s{socket}.g{gpu}", self._gpu_params().pcie.bandwidth
+        )
+
+    def links(self) -> dict[str, Link]:
+        """All links instantiated so far (lazily created on first route)."""
+        return dict(self._links)
+
+    def utilization_report(self, elapsed: float) -> list[tuple[str, float, float]]:
+        """Per-link traffic over ``elapsed`` seconds.
+
+        Returns ``(link name, bytes carried, mean utilization fraction)``
+        sorted by utilization — how the tests and examples show which level
+        is the bottleneck (e.g. the NIC under a topology-aware chain).
+        """
+        if elapsed <= 0:
+            raise ValueError(f"elapsed must be positive, got {elapsed}")
+        rows = [
+            (
+                link.name,
+                link.bytes_carried,
+                link.bytes_carried / (link.capacity * elapsed),
+            )
+            for link in self._links.values()
+        ]
+        rows.sort(key=lambda r: -r[2])
+        return rows
+
+    # -- routing --------------------------------------------------------------
+
+    def route(
+        self,
+        src: int,
+        dst: int,
+        src_space: MemSpace = MemSpace.HOST,
+        dst_space: MemSpace = MemSpace.HOST,
+    ) -> Route:
+        """Resolve the link path between two ranks' buffers."""
+        key = (src, dst, src_space, dst_space)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        route = self._route_uncached(src, dst, src_space, dst_space)
+        self._route_cache[key] = route
+        return route
+
+    def _route_uncached(
+        self, src: int, dst: int, src_space: MemSpace, dst_space: MemSpace
+    ) -> Route:
+        topo = self.topology
+        spec = self.spec
+        ps, pd = topo.placement(src), topo.placement(dst)
+        level = topo.level(src, dst)
+
+        links: list[Link] = []
+        latency = 0.0
+        rate_cap = float("inf")
+
+        def add_cpu_leg() -> None:
+            nonlocal latency, rate_cap
+            if level == CommLevel.SELF:
+                # Loopback: memcpy-speed, no shared link.
+                latency += spec.shm.alpha
+                rate_cap = min(rate_cap, spec.memcpy_bandwidth)
+            elif level == CommLevel.INTRA_SOCKET:
+                links.append(self.socket_mem_link(ps.node, ps.socket))
+                latency += spec.shm.alpha
+                rate_cap = min(rate_cap, spec.shm.bandwidth)
+            elif level == CommLevel.INTER_SOCKET:
+                links.append(self.qpi_link(ps.node, ps.socket, pd.socket))
+                latency += spec.qpi.alpha
+                rate_cap = min(rate_cap, spec.qpi.bandwidth)
+            else:  # INTER_NODE
+                links.append(self.nic_out_link(ps.node))
+                links.append(self.nic_in_link(pd.node))
+                latency += spec.fabric.alpha
+                rate_cap = min(rate_cap, spec.fabric.bandwidth)
+
+        if src_space == MemSpace.HOST and dst_space == MemSpace.HOST:
+            add_cpu_leg()
+            return Route(tuple(links), latency, rate_cap)
+
+        gpu = self._gpu_params()
+        pcie = gpu.pcie
+
+        def add_d2h() -> None:
+            """Source GPU's egress lane."""
+            nonlocal latency, rate_cap
+            assert ps.gpu is not None
+            links.append(self.gpu_out_link(ps.node, ps.socket, ps.gpu))
+            latency += pcie.alpha
+            rate_cap = min(rate_cap, pcie.bandwidth)
+
+        def add_h2d() -> None:
+            """Destination GPU's ingress lane."""
+            nonlocal latency, rate_cap
+            assert pd.gpu is not None
+            links.append(self.gpu_in_link(pd.node, pd.socket, pd.gpu))
+            latency += pcie.alpha
+            rate_cap = min(rate_cap, pcie.bandwidth)
+
+        if src_space == MemSpace.GPU and dst_space == MemSpace.GPU:
+            if level in (CommLevel.SELF, CommLevel.INTRA_SOCKET):
+                # CUDA IPC through the shared PCIe switch: the sender's
+                # egress and the receiver's ingress lanes.
+                add_d2h()
+                if ps.gpu != pd.gpu or ps.node != pd.node or ps.socket != pd.socket:
+                    add_h2d()
+            elif level == CommLevel.INTER_SOCKET:
+                # Staged through CPU memory: D2H, QPI, H2D (Section 4 rule).
+                add_d2h()
+                add_cpu_leg()
+                add_h2d()
+            else:  # INTER_NODE
+                if self.gpudirect:
+                    add_d2h()
+                    add_cpu_leg()
+                    add_h2d()
+                else:
+                    # Staged through implicit host buffers on both ends; same
+                    # bus path, plus the extra copies' latency charged here
+                    # (bandwidth effect is modelled via the memcpy rate cap).
+                    add_d2h()
+                    add_cpu_leg()
+                    add_h2d()
+                    latency += 2 * spec.shm.alpha
+                    rate_cap = min(rate_cap, spec.memcpy_bandwidth)
+        elif src_space == MemSpace.GPU:  # GPU -> HOST
+            add_d2h()
+            if level not in (CommLevel.SELF,) and (ps.node, ps.socket) != (
+                pd.node,
+                pd.socket,
+            ):
+                add_cpu_leg()
+        else:  # HOST -> GPU
+            if level not in (CommLevel.SELF,) and (ps.node, ps.socket) != (
+                pd.node,
+                pd.socket,
+            ):
+                add_cpu_leg()
+            add_h2d()
+
+        return Route(tuple(links), latency, rate_cap)
+
+    # -- transfers -------------------------------------------------------------
+
+    def start_transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_complete: Callable[[Flow], None],
+        src_space: MemSpace = MemSpace.HOST,
+        dst_space: MemSpace = MemSpace.HOST,
+        extra_latency: float = 0.0,
+        taginfo=None,
+        ordered: bool = True,
+    ) -> Optional[Flow]:
+        """Launch the wire transfer of one message/segment.
+
+        ``ordered=True`` (data plane) serializes the transfer behind earlier
+        transfers on the same (src, dst, spaces) channel; ``ordered=False``
+        (control plane) goes immediately. Returns the flow, or None if the
+        transfer was queued behind channel predecessors.
+        """
+        if not ordered:
+            return self._launch(src, dst, nbytes, on_complete, src_space, dst_space,
+                                extra_latency, taginfo)
+        key = (src, dst, src_space, dst_space)
+        if self._channel_busy.get(key):
+            self._channel_queue.setdefault(key, []).append(
+                (src, dst, nbytes, on_complete, src_space, dst_space,
+                 extra_latency, taginfo)
+            )
+            return None
+        self._channel_busy[key] = True
+        return self._launch(src, dst, nbytes, self._chain(key, on_complete),
+                            src_space, dst_space, extra_latency, taginfo)
+
+    def start_control(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_complete: Callable[[], None],
+    ) -> None:
+        """Deliver a tiny control message (RTS/CTS) after path latency.
+
+        Control packets are a few cache lines; their serialization time is
+        negligible and real fabrics absorb them without disturbing bulk
+        transfers, so they are modelled as pure latency rather than flows —
+        they never join contention components.
+        """
+        route = self.route(src, dst, MemSpace.HOST, MemSpace.HOST)
+        delay = route.latency + nbytes / route.rate_cap
+        self.engine.call_after(delay, on_complete)
+
+    def _chain(self, key: tuple, on_complete: Callable[[Flow], None]):
+        def done(flow: Flow) -> None:
+            queue = self._channel_queue.get(key)
+            if queue:
+                nxt = queue.pop(0)
+                (src, dst, nbytes, cb, src_space, dst_space, extra, taginfo) = nxt
+                self._launch(src, dst, nbytes, self._chain(key, cb),
+                             src_space, dst_space, extra, taginfo)
+            else:
+                self._channel_busy[key] = False
+            on_complete(flow)
+
+        return done
+
+    def _launch(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_complete: Callable[[Flow], None],
+        src_space: MemSpace,
+        dst_space: MemSpace,
+        extra_latency: float,
+        taginfo,
+    ) -> Flow:
+        route = self.route(src, dst, src_space, dst_space)
+        return self.network.submit(
+            route.links,
+            nbytes,
+            route.rate_cap,
+            route.latency + extra_latency,
+            on_complete,
+            taginfo=taginfo,
+        )

@@ -1,0 +1,16 @@
+"""System-noise injection (paper Section 5.1.1 methodology)."""
+
+from repro.noise.injector import NoiseInjector, noise_profile
+from repro.noise.microscope import (
+    PropagationReport,
+    classify_relation,
+    probe_propagation,
+)
+
+__all__ = [
+    "NoiseInjector",
+    "noise_profile",
+    "PropagationReport",
+    "classify_relation",
+    "probe_propagation",
+]

@@ -1,0 +1,89 @@
+"""Per-rank CPU model.
+
+Every simulated MPI rank owns one :class:`Cpu`: a serial, non-preemptive
+resource on which all of that rank's software activity runs — posting sends
+and recvs, protocol handling, completion callbacks, reduction arithmetic, and
+injected noise. Serializing these on one resource is what makes noise
+*matter*: a rank whose CPU is busy cannot post the next segment, match an
+incoming message, or run an ADAPT callback, exactly like a real MPI process
+descheduled by an OS daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine
+
+
+class Cpu:
+    """Serial FIFO work executor with occupancy accounting.
+
+    Work submitted with :meth:`execute` starts when all previously submitted
+    work (including noise intervals) has finished, runs for its stated
+    duration, then fires its completion callback.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "_busy_until",
+        "busy_time",
+        "noise_time",
+        "work_items",
+    )
+
+    def __init__(self, engine: Engine, name: str = "cpu"):
+        self.engine = engine
+        self.name = name
+        self._busy_until = 0.0
+        self.busy_time = 0.0  # total seconds of real work executed
+        self.noise_time = 0.0  # total seconds of injected noise
+        self.work_items = 0
+
+    @property
+    def busy_until(self) -> float:
+        """Absolute time at which all currently queued work completes."""
+        return self._busy_until
+
+    def available_at(self) -> float:
+        """Earliest time new work could start."""
+        return max(self.engine.now, self._busy_until)
+
+    def execute(
+        self,
+        duration: float,
+        fn: Optional[Callable[..., Any]] = None,
+        *args: Any,
+    ) -> float:
+        """Queue ``duration`` seconds of work; call ``fn(*args)`` when done.
+
+        Returns the absolute completion time.
+        """
+        if duration < 0:
+            raise ValueError(f"negative work duration {duration}")
+        start = self.available_at()
+        end = start + duration
+        self._busy_until = end
+        self.busy_time += duration
+        self.work_items += 1
+        if fn is not None:
+            self.engine.call_at(end, fn, *args)
+        return end
+
+    def when_available(self, fn: Callable[..., Any], *args: Any) -> float:
+        """Run ``fn`` as soon as the CPU is free (zero-duration work item)."""
+        return self.execute(0.0, fn, *args)
+
+    def inject_noise(self, duration: float) -> float:
+        """Inject a busy interval (noise) starting as soon as possible.
+
+        Models an OS daemon / interference event stealing the core: all work
+        submitted afterwards is pushed back by ``duration``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative noise duration {duration}")
+        start = self.available_at()
+        self._busy_until = start + duration
+        self.noise_time += duration
+        return self._busy_until

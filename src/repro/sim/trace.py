@@ -1,0 +1,56 @@
+"""Timeline tracing.
+
+A :class:`TraceRecorder` collects ``(time, rank, kind, detail)`` tuples from
+the MPI runtime when enabled. Tests use it to assert *causal structure* — e.g.
+that under a Waitall implementation a delayed child postpones traffic to its
+siblings, while under ADAPT it does not (the paper's Figure 2 analysis) — and
+the examples use it to print per-rank timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded runtime event."""
+
+    time: float
+    rank: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e6:12.3f} us] rank {self.rank:4d} {self.kind:<12} {self.detail}"
+
+
+class TraceRecorder:
+    """Append-only event log, cheap to disable."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, rank: int, kind: str, detail: str = "") -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, rank, kind, detail))
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def first(self, kind: str, rank: Optional[int] = None) -> Optional[TraceEvent]:
+        for e in self.events:
+            if e.kind == kind and (rank is None or e.rank == rank):
+                return e
+        return None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

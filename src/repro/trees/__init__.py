@@ -1,0 +1,32 @@
+"""Communication trees.
+
+Collectives in this repository are tree-agnostic (paper Section 2.2.4): every
+framework — blocking, non-blocking, ADAPT — takes a :class:`Tree` and moves
+segments along its edges. Builders cover the classic shapes (chain, flat,
+binary, binomial, k-ary, k-nomial) plus the paper's Section 3.2
+**topology-aware tree**: ranks are grouped bottom-up (socket, then node, then
+machine), each group runs its own shape, and group leaders glue the levels
+together (Figure 5).
+"""
+
+from repro.trees.base import Tree
+from repro.trees.builders import (
+    binary_tree,
+    binomial_tree,
+    chain_tree,
+    flat_tree,
+    kary_tree,
+    knomial_tree,
+)
+from repro.trees.topo_tree import topology_aware_tree
+
+__all__ = [
+    "Tree",
+    "chain_tree",
+    "flat_tree",
+    "binary_tree",
+    "binomial_tree",
+    "kary_tree",
+    "knomial_tree",
+    "topology_aware_tree",
+]

@@ -1,0 +1,90 @@
+"""Classic tree shapes (paper Section 2.2.4 lists chain, binary, binomial...).
+
+All builders produce trees rooted at 0 over ranks ``0..n-1``; use
+:meth:`~repro.trees.base.Tree.reroot_relabelled` for other roots. Child order
+follows the conventional implementations (binomial: largest subtree first),
+which matters for the blocking baseline's service order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trees.base import Tree
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"tree needs at least one rank, got {n}")
+
+
+def chain_tree(n: int) -> Tree:
+    """Pipeline chain 0 -> 1 -> ... -> n-1 (the shape ADAPT favours for
+    pipelined bcast/reduce, Section 5.2.1)."""
+    _check_n(n)
+    parent: list[Optional[int]] = [None] + [r - 1 for r in range(1, n)]
+    return Tree.from_parents(parent, 0, name="chain")
+
+
+def flat_tree(n: int) -> Tree:
+    """Root sends directly to everyone (linear/star)."""
+    _check_n(n)
+    parent: list[Optional[int]] = [None] + [0] * (n - 1)
+    return Tree.from_parents(parent, 0, name="flat")
+
+
+def kary_tree(n: int, k: int = 2) -> Tree:
+    """Complete k-ary tree in BFS order."""
+    _check_n(n)
+    if k < 1:
+        raise ValueError(f"k-ary tree needs k >= 1, got {k}")
+    parent: list[Optional[int]] = [None] * n
+    for r in range(1, n):
+        parent[r] = (r - 1) // k
+    name = "binary" if k == 2 else f"{k}-ary"
+    return Tree.from_parents(parent, 0, name=name)
+
+
+def binary_tree(n: int) -> Tree:
+    """Complete binary tree."""
+    return kary_tree(n, 2)
+
+
+def binomial_tree(n: int) -> Tree:
+    """Binomial tree: rank r's parent clears r's lowest set bit.
+
+    Children are ordered largest-subtree first — the order the classic
+    recursive-halving broadcast services them in.
+    """
+    _check_n(n)
+    parent: list[Optional[int]] = [None] * n
+    for r in range(1, n):
+        parent[r] = r & (r - 1)  # clear lowest set bit
+    tree = Tree.from_parents(parent, 0, name="binomial")
+    for r in range(n):
+        tree.children[r].sort(key=lambda c: -(c & -c))
+    return tree
+
+
+def knomial_tree(n: int, k: int = 4) -> Tree:
+    """k-nomial tree: generalization of binomial (k=2 is binomial).
+
+    Round i (i=0,1,...) has each informed rank send to ranks at offsets
+    ``j * k**i`` (j in 1..k-1) beyond itself, while those targets exist.
+    """
+    _check_n(n)
+    if k < 2:
+        raise ValueError(f"k-nomial tree needs k >= 2, got {k}")
+    parent: list[Optional[int]] = [None] * n
+    stride = 1
+    while stride < n:
+        for base in range(0, n, stride * k):
+            for j in range(1, k):
+                child = base + j * stride
+                if child < n and parent[child] is None and child != 0:
+                    parent[child] = base
+        stride *= k
+    tree = Tree.from_parents(parent, 0, name=f"{k}-nomial")
+    for r in range(n):
+        tree.children[r].sort(key=lambda c: -(c - r))
+    return tree

@@ -1,0 +1,134 @@
+"""Topology-aware communication tree (paper Section 3.2, Figure 5).
+
+Ranks are grouped bottom-up: core ranks within a socket, socket leaders
+within a node, node leaders across the machine. Each group runs its own tree
+shape (chain by default — the shape the paper's evaluation uses at every
+level), and group leaders are members of two levels, gluing them together.
+The result is ONE spanning tree over a single communicator, so frameworks
+need no multi-communicator phases and inter-level communication can overlap —
+the core argument of Section 3.2 against the Section 3.1 baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.machine.spec import CommLevel
+from repro.machine.topology import Topology
+from repro.trees.base import Tree
+from repro.trees.builders import (
+    binary_tree,
+    binomial_tree,
+    chain_tree,
+    flat_tree,
+    kary_tree,
+    knomial_tree,
+)
+
+SHAPES: Mapping[str, Callable[[int], Tree]] = {
+    "chain": chain_tree,
+    "flat": flat_tree,
+    "binary": binary_tree,
+    "binomial": binomial_tree,
+    "kary4": lambda n: kary_tree(n, 4),
+    "knomial4": lambda n: knomial_tree(n, 4),
+}
+
+
+def _group_tree(members: Sequence[int], leader: int, shape: str) -> dict[int, int]:
+    """Parent map (member -> member) of one group's tree rooted at ``leader``.
+
+    The shape builder works on indices 0..len-1 with the leader first; other
+    members keep ascending order, matching how the paper lays chains along
+    consecutive cores (Figure 5).
+    """
+    ordered = [leader] + [m for m in sorted(members) if m != leader]
+    proto = SHAPES[shape](len(ordered))
+    out: dict[int, int] = {}
+    for idx, member in enumerate(ordered):
+        p = proto.parent[idx]
+        if p is not None:
+            out[member] = ordered[p]
+    return out
+
+
+def topology_aware_tree(
+    topology: Topology,
+    ranks: Sequence[int],
+    root: int,
+    shapes: Optional[Mapping[CommLevel, str]] = None,
+) -> Tree:
+    """Build the multi-level tree over communicator-local ranks.
+
+    ``ranks`` lists world ranks in communicator order; ``root`` is the
+    communicator-local root. Returns a tree over local ranks whose edges, by
+    construction, each stay within one hardware level.
+    """
+    shapes = shapes or {}
+    shape_of = {
+        CommLevel.INTRA_SOCKET: shapes.get(CommLevel.INTRA_SOCKET, "chain"),
+        CommLevel.INTER_SOCKET: shapes.get(CommLevel.INTER_SOCKET, "chain"),
+        CommLevel.INTER_NODE: shapes.get(CommLevel.INTER_NODE, "chain"),
+    }
+    n = len(ranks)
+    if not (0 <= root < n):
+        raise ValueError(f"root {root} out of range for {n} ranks")
+    root_world = ranks[root]
+    local_of = {w: i for i, w in enumerate(ranks)}
+
+    # Group local ranks by socket and by node.
+    sockets: dict[tuple, list[int]] = {}
+    nodes: dict[tuple, list[int]] = {}
+    for i, w in enumerate(ranks):
+        sockets.setdefault(topology.group_key(w, CommLevel.INTRA_SOCKET), []).append(i)
+        nodes.setdefault(topology.group_key(w, CommLevel.INTER_SOCKET), []).append(i)
+
+    def socket_leader(members: list[int]) -> int:
+        return root if root in members else min(members)
+
+    # Socket level: every rank hangs off its socket tree.
+    parent: list[Optional[int]] = [None] * n
+    socket_leaders: dict[tuple, int] = {}
+    for key, members in sockets.items():
+        leader = socket_leader(members)
+        socket_leaders[key] = leader
+        for child, par in _group_tree(
+            members, leader, shape_of[CommLevel.INTRA_SOCKET]
+        ).items():
+            parent[child] = par
+
+    # Node level: socket leaders of one node form a group; its leader is the
+    # socket leader on the root's socket if the root lives here, else the
+    # smallest socket leader.
+    node_leaders: dict[tuple, int] = {}
+    root_node_key = topology.group_key(root_world, CommLevel.INTER_SOCKET)
+    for node_key, members in nodes.items():
+        leaders_here = sorted(
+            {
+                socket_leaders[topology.group_key(ranks[i], CommLevel.INTRA_SOCKET)]
+                for i in members
+            }
+        )
+        if node_key == root_node_key:
+            node_leader = root
+        else:
+            node_leader = leaders_here[0]
+        node_leaders[node_key] = node_leader
+        for child, par in _group_tree(
+            leaders_here, node_leader, shape_of[CommLevel.INTER_SOCKET]
+        ).items():
+            parent[child] = par
+
+    # Top level: node leaders across the machine, rooted at the root's node.
+    top_members = sorted(node_leaders.values())
+    for child, par in _group_tree(
+        top_members, root, shape_of[CommLevel.INTER_NODE]
+    ).items():
+        parent[child] = par
+
+    parent[root] = None
+    levels = "/".join(
+        shape_of[l][:4]
+        for l in (CommLevel.INTER_NODE, CommLevel.INTER_SOCKET, CommLevel.INTRA_SOCKET)
+    )
+    return Tree.from_parents(parent, root, name=f"topo({levels})")

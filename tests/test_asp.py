@@ -1,0 +1,108 @@
+"""Tests for the ASP application (Table 1's workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import asp_reference, run_asp
+from repro.machine import small_test_machine
+
+
+class TestAspReference:
+    def test_known_small_graph(self):
+        inf = np.inf
+        w = np.array(
+            [
+                [0, 3, inf, 7],
+                [8, 0, 2, inf],
+                [5, inf, 0, 1],
+                [2, inf, inf, 0],
+            ],
+            dtype=float,
+        )
+        d = asp_reference(w)
+        expected = np.array(
+            [
+                [0, 3, 5, 6],
+                [5, 0, 2, 3],
+                [3, 6, 0, 1],
+                [2, 5, 7, 0],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(d, expected)
+
+    def test_disconnected_stays_infinite(self):
+        inf = np.inf
+        w = np.array([[0, 1, inf], [inf, 0, inf], [inf, inf, 0]], dtype=float)
+        d = asp_reference(w)
+        assert d[0, 1] == 1
+        assert np.isinf(d[0, 2]) and np.isinf(d[2, 0])
+
+    def test_triangle_inequality_holds(self):
+        rng = np.random.default_rng(11)
+        n = 30
+        w = rng.uniform(1, 10, (n, n))
+        np.fill_diagonal(w, 0)
+        d = asp_reference(w)
+        for k in range(n):
+            assert (d <= d[:, k, None] + d[None, k, :] + 1e-9).all()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            asp_reference(np.zeros((2, 3)))
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(5)
+        n = 25
+        w = np.full((n, n), np.inf)
+        np.fill_diagonal(w, 0.0)
+        for _ in range(n * 3):
+            i, j = rng.integers(0, n, 2)
+            if i != j:
+                w[i, j] = min(w[i, j], float(rng.uniform(1, 9)))
+        d = asp_reference(w)
+        g = nx.DiGraph()
+        for i in range(n):
+            for j in range(n):
+                if i != j and np.isfinite(w[i, j]):
+                    g.add_edge(i, j, weight=w[i, j])
+        for i, lengths in nx.all_pairs_dijkstra_path_length(g):
+            for j, dist in lengths.items():
+                assert d[i, j] == pytest.approx(dist)
+
+
+class TestAspSimulation:
+    def test_split_accounting(self):
+        spec = small_test_machine()
+        res = run_asp(spec, 24, "OMPI-adapt", iterations=6, row_bytes=256 * 1024)
+        assert res.total_runtime > res.compute_time > 0
+        assert 0 < res.communication_fraction < 1
+        assert res.communication_time == pytest.approx(
+            res.total_runtime - res.compute_time
+        )
+
+    def test_adapt_lower_comm_share_than_tuned(self):
+        spec = small_test_machine()
+        kw = dict(iterations=6, row_bytes=512 * 1024)
+        adapt = run_asp(spec, 24, "OMPI-adapt", **kw)
+        tuned = run_asp(spec, 24, "OMPI-default", **kw)
+        assert adapt.communication_fraction < tuned.communication_fraction
+        assert adapt.total_runtime < tuned.total_runtime
+
+    def test_rotating_root_covers_multiple_owners(self):
+        # With 24 iterations on 24 ranks and rows_per_rank=1, every rank
+        # roots exactly once; just assert completion.
+        spec = small_test_machine()
+        res = run_asp(spec, 24, "Intel MPI", iterations=24, row_bytes=64 * 1024)
+        assert res.iterations == 24
+        assert res.total_runtime > 0
+
+    def test_hierarchical_library_chains_correctly(self):
+        # Intel's hierarchical bcast uses leader-only chaining; the ASP loop
+        # must still terminate, and per-rank compute serializes with the
+        # broadcasts, so the total covers all iterations' compute.
+        spec = small_test_machine()
+        res = run_asp(spec, 24, "Intel MPI", iterations=5, row_bytes=128 * 1024)
+        assert res.total_runtime >= res.compute_time

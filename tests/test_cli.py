@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "cori" in out and "psg" in out and "GPUs" in out
+
+    def test_tree(self, capsys):
+        assert main(["tree", "--nodes", "2", "--sockets", "2", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "P0 -> " in out
+        assert "inter-node" in out
+
+    def test_tree_nonzero_root(self, capsys):
+        main(["tree", "--root", "5"])
+        out = capsys.readouterr().out
+        assert "root 5" in out
+
+    def test_run_small(self, capsys):
+        assert main([
+            "run", "--library", "OMPI-adapt", "--nbytes", "262144",
+            "--machine", "cori", "--nodes", "2", "--iterations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OMPI-adapt" in out and "mean=" in out
+
+    def test_run_gpu(self, capsys):
+        main([
+            "run", "--machine", "psg", "--nodes", "1", "--gpu",
+            "--nbytes", "1048576", "--iterations", "1",
+        ])
+        assert "OMPI-adapt" in capsys.readouterr().out
+
+    def test_run_with_noise(self, capsys):
+        main([
+            "run", "--machine", "cori", "--nodes", "2", "--nbytes", "1048576",
+            "--iterations", "4", "--noise", "5",
+        ])
+        assert "noise= 5.0%" in capsys.readouterr().out
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--machine", "summit"])
+
+    def test_parser_has_all_experiments(self):
+        parser = build_parser()
+        for cmd in ["fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "table1"]:
+            args = parser.parse_args([cmd] if cmd != "fig8" else [cmd, "--operation", "reduce"])
+            assert args.command == cmd
+
+    def test_table1_runs(self, capsys):
+        # The cheapest full experiment: exercise the experiment dispatch path.
+        assert main(["table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "OMPI-adapt" in out

@@ -1,0 +1,65 @@
+"""Unit tests for communicators and topology-driven splits."""
+
+import pytest
+
+from repro.machine import CommLevel, small_test_machine
+from repro.mpi import Communicator, MpiWorld
+
+
+def make_world(nranks=24):
+    return MpiWorld(small_test_machine(), nranks)
+
+
+class TestCommunicator:
+    def test_world_communicator_covers_all_ranks(self):
+        w = make_world()
+        comm = Communicator(w)
+        assert comm.size == 24
+        assert comm.world_rank(5) == 5
+        assert comm.local_rank(5) == 5
+
+    def test_sub_communicator_translation(self):
+        w = make_world()
+        comm = Communicator(w, [3, 9, 17])
+        assert comm.size == 3
+        assert comm.world_rank(1) == 9
+        assert comm.local_rank(17) == 2
+        assert 9 in comm and 4 not in comm
+
+    def test_duplicate_ranks_rejected(self):
+        w = make_world()
+        with pytest.raises(ValueError):
+            Communicator(w, [1, 1, 2])
+
+    def test_runtime_accessor(self):
+        w = make_world()
+        comm = Communicator(w, [4, 8])
+        assert comm.runtime(1) is w.ranks[8]
+
+    def test_split_by_socket(self):
+        w = make_world()
+        comm = Communicator(w)
+        groups = comm.split_by_level(CommLevel.INTRA_SOCKET)
+        assert len(groups) == 6  # 3 nodes x 2 sockets
+        assert groups[(0, 0)].ranks == (0, 1, 2, 3)
+        assert groups[(2, 1)].ranks == (20, 21, 22, 23)
+
+    def test_split_by_node(self):
+        w = make_world()
+        comm = Communicator(w)
+        groups = comm.split_by_level(CommLevel.INTER_SOCKET)
+        assert len(groups) == 3
+        assert groups[(1,)].ranks == tuple(range(8, 16))
+
+    def test_leaders_comm(self):
+        w = make_world()
+        comm = Communicator(w)
+        leaders = comm.leaders_comm(CommLevel.INTER_SOCKET)
+        assert leaders.ranks == (0, 8, 16)
+
+    def test_split_of_subset(self):
+        w = make_world()
+        comm = Communicator(w, list(range(0, 24, 3)))  # 0,3,6,...,21
+        groups = comm.split_by_level(CommLevel.INTER_SOCKET)
+        all_ranks = sorted(r for g in groups.values() for r in g.ranks)
+        assert all_ranks == list(range(0, 24, 3))

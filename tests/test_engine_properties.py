@@ -1,0 +1,96 @@
+"""Property-based tests on the discrete-event engine's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_property_events_fire_in_nondecreasing_time_order(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.call_at(t, lambda t=t: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=2,
+        max_size=40,
+    ),
+    cancel_idx=st.sets(st.integers(min_value=0, max_value=39)),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_cancelled_events_never_fire(times, cancel_idx):
+    eng = Engine()
+    fired = []
+    handles = [eng.call_at(t, lambda i=i: fired.append(i)) for i, t in enumerate(times)]
+    cancelled = {i for i in cancel_idx if i < len(handles)}
+    for i in cancelled:
+        handles[i].cancel()
+    eng.run()
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_chained_scheduling_accumulates_time(delays):
+    eng = Engine()
+    remaining = list(delays)
+
+    def step():
+        if remaining:
+            eng.call_after(remaining.pop(0), step)
+
+    eng.call_at(0.0, step)
+    eng.run()
+    assert eng.now == sum(delays) or abs(eng.now - sum(delays)) < 1e-9 * max(sum(delays), 1)
+
+
+@given(
+    same_time=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    n=st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_fifo_among_simultaneous_events(same_time, n):
+    eng = Engine()
+    fired = []
+    for i in range(n):
+        eng.call_at(same_time, lambda i=i: fired.append(i))
+    eng.run()
+    assert fired == list(range(n))
+
+
+@given(
+    until=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    times=st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                   min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_run_until_is_a_clean_cut(until, times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.call_at(t, lambda t=t: fired.append(t))
+    eng.run(until=until)
+    assert all(t <= until for t in fired)
+    eng.run()
+    assert sorted(fired) == sorted(times)

@@ -1,0 +1,195 @@
+"""Tests for the extended ADAPT collectives (paper Section 2.2.3 / future
+work): scatter, gather, allreduce, barrier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    allreduce_adapt,
+    barrier_adapt,
+    gather_adapt,
+    scatter_adapt,
+)
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig
+from repro.machine import small_test_machine
+from repro.mpi import SUM, MAX, Communicator, MpiWorld
+from repro.trees import binomial_tree, chain_tree, topology_aware_tree
+
+CFG = CollectiveConfig(segment_size=4 * 1024)
+
+
+def make(nranks=24, root=0, tree_builder=None):
+    spec = small_test_machine()
+    world = MpiWorld(spec, nranks, carry_data=True)
+    comm = Communicator(world)
+    if tree_builder is None:
+        tree = topology_aware_tree(world.topology, list(comm.ranks), root)
+    else:
+        tree = tree_builder(nranks).reroot_relabelled(root)
+    return world, comm, tree
+
+
+def block_ranges(nbytes, nparts):
+    base, rem = divmod(nbytes, nparts)
+    out, off = [], 0
+    for i in range(nparts):
+        ln = base + (1 if i < rem else 0)
+        out.append((off, ln))
+        off += ln
+    return out
+
+
+class TestScatter:
+    @pytest.mark.parametrize("tree_builder", [None, chain_tree, binomial_tree])
+    def test_each_rank_gets_its_block(self, tree_builder):
+        world, comm, tree = make(tree_builder=tree_builder)
+        nbytes = 24 * 1000
+        data = np.random.default_rng(1).integers(0, 256, nbytes, dtype=np.uint8)
+        ctx = CollectiveContext(comm, 0, nbytes, CFG, tree=tree, data=data)
+        handle = scatter_adapt(ctx)
+        world.run()
+        assert handle.done
+        for r, (off, ln) in enumerate(block_ranges(nbytes, 24)):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data[off : off + ln],
+                err_msg=f"rank {r}",
+            )
+
+    def test_uneven_blocks(self):
+        world, comm, tree = make()
+        nbytes = 24 * 100 + 17
+        data = np.random.default_rng(2).integers(0, 256, nbytes, dtype=np.uint8)
+        ctx = CollectiveContext(comm, 0, nbytes, CFG, tree=tree, data=data)
+        handle = scatter_adapt(ctx)
+        world.run()
+        for r, (off, ln) in enumerate(block_ranges(nbytes, 24)):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data[off : off + ln]
+            )
+
+    def test_nonzero_root(self):
+        world, comm, tree = make(root=7)
+        nbytes = 24 * 64
+        data = np.random.default_rng(3).integers(0, 256, nbytes, dtype=np.uint8)
+        ctx = CollectiveContext(comm, 7, nbytes, CFG, tree=tree, data=data)
+        handle = scatter_adapt(ctx)
+        world.run()
+        for r, (off, ln) in enumerate(block_ranges(nbytes, 24)):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data[off : off + ln]
+            )
+
+
+class TestGather:
+    @pytest.mark.parametrize("tree_builder", [None, chain_tree, binomial_tree])
+    def test_root_assembles_blocks_in_order(self, tree_builder):
+        world, comm, tree = make(tree_builder=tree_builder)
+        nbytes = 24 * 512
+        ranges = block_ranges(nbytes, 24)
+        rng = np.random.default_rng(4)
+        data = {
+            r: rng.integers(0, 256, ranges[r][1], dtype=np.uint8) for r in range(24)
+        }
+        ctx = CollectiveContext(comm, 0, nbytes, CFG, tree=tree, data=data)
+        handle = gather_adapt(ctx)
+        world.run()
+        assert handle.done
+        expected = np.concatenate([data[r] for r in range(24)])
+        np.testing.assert_array_equal(
+            np.asarray(handle.output[0]).view(np.uint8), expected
+        )
+
+    def test_scatter_then_gather_roundtrip(self):
+        world, comm, tree = make()
+        nbytes = 24 * 256
+        data = np.random.default_rng(5).integers(0, 256, nbytes, dtype=np.uint8)
+        ctx = CollectiveContext(comm, 0, nbytes, CFG, tree=tree, data=data)
+        h1 = scatter_adapt(ctx)
+        world.run()
+        scattered = {r: np.asarray(h1.output[r]).view(np.uint8) for r in range(24)}
+        ctx2 = CollectiveContext(comm, 0, nbytes, CFG, tree=tree, data=scattered)
+        h2 = gather_adapt(ctx2)
+        world.run()
+        np.testing.assert_array_equal(np.asarray(h2.output[0]).view(np.uint8), data)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("op", [SUM, MAX])
+    def test_every_rank_gets_full_reduction(self, op):
+        world, comm, tree = make()
+        nbytes = 8 * 1024
+        rng = np.random.default_rng(6)
+        data = {r: rng.integers(0, 40, nbytes, dtype=np.uint8) for r in range(24)}
+        ctx = CollectiveContext(comm, 0, nbytes, CFG, tree=tree, data=data, op=op)
+        handle = allreduce_adapt(ctx)
+        world.run()
+        assert handle.done
+        expected = None
+        for r in range(24):
+            expected = data[r].copy() if expected is None else op(expected, data[r])
+        for r in range(24):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), expected,
+                err_msg=f"rank {r}",
+            )
+
+    def test_overlap_beats_nothing(self):
+        # Smoke: allreduce completes and takes at least as long as a reduce.
+        from repro.collectives import reduce_adapt
+
+        world, comm, tree = make()
+        ctx = CollectiveContext(comm, 0, 64 * 1024, CFG, tree=tree, op=SUM)
+        h = allreduce_adapt(ctx)
+        world.run()
+        t_all = h.elapsed()
+        world2, comm2, tree2 = make()
+        ctx2 = CollectiveContext(comm2, 0, 64 * 1024, CFG, tree=tree2, op=SUM)
+        h2 = reduce_adapt(ctx2)
+        world2.run()
+        assert t_all > h2.elapsed()
+
+
+class TestBarrier:
+    def test_no_rank_leaves_before_last_enters(self):
+        world, comm, tree = make()
+        # Delay one rank's entry via noise; everyone must leave after it.
+        world.inject_noise(13, 2e-3)
+        ctx = CollectiveContext(comm, 0, 0, CFG, tree=tree)
+        handle = barrier_adapt(ctx)
+        world.run()
+        assert handle.done
+        # Rank 13 entered ~2 ms late; nobody may have left before its entry.
+        assert min(handle.done_time.values()) >= 2e-3
+
+    def test_barrier_on_chain(self):
+        world, comm, tree = make(tree_builder=chain_tree)
+        ctx = CollectiveContext(comm, 0, 0, CFG, tree=tree)
+        handle = barrier_adapt(ctx)
+        world.run()
+        assert handle.done
+
+
+@given(
+    nranks=st.integers(min_value=1, max_value=24),
+    root_seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_scatter_gather_any_size(nranks, root_seed):
+    root = root_seed % nranks
+    spec = small_test_machine()
+    world = MpiWorld(spec, nranks, carry_data=True)
+    comm = Communicator(world)
+    tree = topology_aware_tree(world.topology, list(comm.ranks), root)
+    nbytes = nranks * 97 + 3
+    data = np.random.default_rng(root_seed).integers(0, 256, nbytes, dtype=np.uint8)
+    ctx = CollectiveContext(comm, root, nbytes, CFG, tree=tree, data=data)
+    handle = scatter_adapt(ctx)
+    world.run()
+    assert handle.done
+    for r, (off, ln) in enumerate(block_ranges(nbytes, nranks)):
+        np.testing.assert_array_equal(
+            np.asarray(handle.output[r]).view(np.uint8), data[off : off + ln]
+        )

@@ -1,0 +1,138 @@
+"""Property-based tests on the max-min fair allocator and flow dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import FairShareNetwork, Flow, Link
+from repro.network.fairshare import maxmin_rates
+from repro.sim import Engine
+
+
+def build_scenario(link_caps, flow_specs):
+    """links from capacities; flows from (path indices, cap) pairs."""
+    links = [Link(f"l{i}", c) for i, c in enumerate(link_caps)]
+    flows = []
+    for fid, (path_idx, cap) in enumerate(flow_specs):
+        path = [links[i] for i in sorted(set(path_idx))]
+        f = Flow(fid, path, 1000, cap, on_complete=lambda fl: None)
+        flows.append(f)
+        for l in path:
+            l.flows.add(f)
+    return links, flows
+
+
+caps = st.floats(min_value=1e8, max_value=1e11, allow_nan=False)
+
+
+@given(
+    link_caps=st.lists(caps, min_size=1, max_size=5),
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_maxmin_invariants(link_caps, data):
+    nlinks = len(link_caps)
+    nflows = data.draw(st.integers(min_value=1, max_value=8))
+    flow_specs = []
+    for _ in range(nflows):
+        path = data.draw(
+            st.lists(st.integers(0, nlinks - 1), min_size=1, max_size=nlinks)
+        )
+        cap = data.draw(caps)
+        flow_specs.append((path, cap))
+    links, flows = build_scenario(link_caps, flow_specs)
+    rates = maxmin_rates(flows, links)
+
+    # 1. Every flow got a rate, non-negative, never above its cap.
+    for f in flows:
+        assert rates[f] >= 0
+        assert rates[f] <= f.rate_cap * (1 + 1e-9)
+
+    # 2. No link is over capacity.
+    for link in links:
+        load = sum(rates[f] for f in flows if link in f.path)
+        assert load <= link.capacity * (1 + 1e-6)
+
+    # 3. Work conservation / max-min optimality witness: a flow below its
+    # cap must be *blocked* — it crosses at least one saturated link where
+    # it is among the maximal-rate flows (else its rate could be raised,
+    # contradicting max-min fairness).
+    for f in flows:
+        if rates[f] >= f.rate_cap * (1 - 1e-6):
+            continue
+        blocked = False
+        for link in f.path:
+            load = sum(rates[g] for g in flows if link in g.path)
+            if load >= link.capacity * (1 - 1e-6):
+                max_rate_on_link = max(rates[g] for g in flows if link in g.path)
+                if rates[f] >= max_rate_on_link * (1 - 1e-6):
+                    blocked = True
+                    break
+        assert blocked, f"flow {f.fid} rate {rates[f]} could be increased"
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=200_000), min_size=1, max_size=12),
+    cap=st.floats(min_value=1e8, max_value=1e10),
+    stagger_ns=st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_shared_link_conserves_work(sizes, cap, stagger_ns):
+    """However flows share one link, total completion time >= total bytes /
+    capacity, and all bytes are delivered."""
+    eng = Engine()
+    net = FairShareNetwork(eng)
+    link = Link("l", cap)
+    done = []
+    for i, nbytes in enumerate(sizes):
+        start = (stagger_ns[i % len(stagger_ns)]) * 1e-9
+        eng.call_at(
+            start,
+            lambda nb=nbytes: net.submit(
+                [link], nb, 1e15, 0.0, lambda f: done.append(f)
+            ),
+        )
+    eng.run()
+    assert len(done) == len(sizes)
+    total_bytes = sum(sizes)
+    assert eng.now >= total_bytes / cap * (1 - 1e-6)
+    for f in done:
+        assert f.remaining <= 1e-6
+
+
+@given(
+    n_a=st.integers(min_value=1, max_value=6),
+    n_b=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_disjoint_links_dont_interact(n_a, n_b):
+    """Flows on link A finish at the same times whether or not link B has
+    traffic — component-local rebalancing must be exact."""
+
+    def run(with_b):
+        eng = Engine()
+        net = FairShareNetwork(eng)
+        la, lb = Link("a", 1e9), Link("b", 1e9)
+        times_a = []
+        for _ in range(n_a):
+            net.submit([la], 50_000, 1e15, 0.0, lambda f: times_a.append(eng.now))
+        if with_b:
+            for _ in range(n_b):
+                net.submit([lb], 30_000, 1e15, 0.0, lambda f: None)
+        eng.run()
+        return times_a
+
+    assert run(False) == pytest.approx(run(True))
+
+
+def test_flow_rate_zero_parks_until_capacity_frees():
+    # A flow capped at link capacity by earlier fixed flows still finishes.
+    eng = Engine()
+    net = FairShareNetwork(eng)
+    link = Link("l", 1e9)
+    done = []
+    for i in range(20):
+        net.submit([link], 100_000, 1e15, 0.0, lambda f: done.append(f.fid))
+    eng.run()
+    assert len(done) == 20

@@ -1,0 +1,104 @@
+"""Tests for the IMB-style runner, report utilities and library presets."""
+
+import pytest
+
+from repro.harness import RunResult, format_table, run_collective, slowdown_percent
+from repro.libraries import library_by_name
+from repro.libraries.presets import _LIBRARIES
+from repro.machine import cori, psg_gpu, small_test_machine
+from repro.mpi import MAX
+
+
+class TestRunner:
+    def test_sequential_mode_runs_requested_iterations(self):
+        r = run_collective(
+            small_test_machine(), 24, "OMPI-adapt", "bcast", 64 << 10,
+            iterations=3, mode="sequential",
+        )
+        assert len(r.times) == 3
+        assert all(t > 0 for t in r.times)
+
+    def test_imb_mode_reports_per_iteration_intervals(self):
+        r = run_collective(
+            small_test_machine(), 24, "OMPI-adapt", "bcast", 256 << 10,
+            iterations=5, mode="imb",
+        )
+        assert len(r.times) == 5
+        # First interval includes the pipeline fill; steady-state intervals
+        # are cheaper or equal.
+        assert r.times[0] >= min(r.times[1:]) * 0.99
+
+    def test_imb_pipelining_beats_sequential(self):
+        kw = dict(iterations=6, nbytes=1 << 20)
+        seq = run_collective(
+            small_test_machine(), 24, "OMPI-adapt", "bcast", mode="sequential", **kw
+        )
+        imb = run_collective(
+            small_test_machine(), 24, "OMPI-adapt", "bcast", mode="imb", **kw
+        )
+        assert imb.mean_time < seq.mean_time
+
+    @pytest.mark.parametrize("lib", sorted(_LIBRARIES))
+    def test_every_library_completes_both_ops(self, lib):
+        spec = cori(nodes=2)
+        for op in ("bcast", "reduce"):
+            r = run_collective(spec, 64, lib, op, 512 << 10, iterations=2)
+            assert len(r.times) == 2
+            assert r.mean_time > 0
+
+    def test_gpu_run(self):
+        r = run_collective(
+            psg_gpu(nodes=2), 8, "OMPI-adapt", "reduce", 4 << 20,
+            iterations=2, gpu=True,
+        )
+        assert r.mean_time > 0
+
+    def test_reduce_op_parameter(self):
+        r = run_collective(
+            small_test_machine(), 24, "OMPI-adapt", "reduce", 64 << 10,
+            iterations=2, op=MAX,
+        )
+        assert r.mean_time > 0
+
+    def test_noise_increases_time(self):
+        spec = cori(nodes=2)
+        base = run_collective(spec, 64, "Cray MPI", "bcast", 4 << 20, iterations=8)
+        noisy = run_collective(
+            spec, 64, "Cray MPI", "bcast", 4 << 20, iterations=8,
+            noise_percent=10, noise_ranks=[21], noise_frequency=200.0, seed=3,
+        )
+        assert noisy.mean_time > base.mean_time
+
+    def test_invalid_operation_rejected(self):
+        with pytest.raises(ValueError):
+            run_collective(small_test_machine(), 8, "OMPI-adapt", "gather", 1024)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_collective(
+                small_test_machine(), 8, "OMPI-adapt", "bcast", 1024, mode="warp"
+            )
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(ValueError):
+            library_by_name("OpenMPI 5")
+
+
+class TestReport:
+    def test_slowdown_percent(self):
+        assert slowdown_percent(1.5, 1.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            slowdown_percent(1.0, 0.0)
+
+    def test_format_table(self):
+        text = format_table("T", ["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "30" in lines[-1]
+
+    def test_run_result_stats(self):
+        r = RunResult("L", "bcast", "m", 4, 1024, 0.0, times=[1.0, 3.0])
+        assert r.mean_time == pytest.approx(2.0)
+        assert r.min_time == 1.0 and r.max_time == 3.0
+        assert "L" in str(r)

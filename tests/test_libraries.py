@@ -1,0 +1,149 @@
+"""Tests for the library behavioural models (DESIGN.md's comparator table)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CollectiveConfig
+from repro.libraries import (
+    intel_topo_bcast_variants,
+    intel_topo_reduce_variants,
+    library_by_name,
+)
+from repro.machine import cori, psg_gpu, stampede2
+from repro.mpi import SUM, Communicator, MpiWorld
+
+CFG = CollectiveConfig(segment_size=32 * 1024)
+
+
+def run_model(model_or_fn, spec, op="bcast", nbytes=256 << 10, gpu=False, carry=True):
+    nranks = spec.total_gpus if gpu else spec.total_cores
+    world = MpiWorld(spec, nranks, gpu_bound=gpu, carry_data=carry)
+    comm = Communicator(world)
+    rng = np.random.default_rng(0)
+    if op == "bcast":
+        data = rng.integers(0, 256, nbytes, dtype=np.uint8) if carry else None
+        fn = model_or_fn.bcast if hasattr(model_or_fn, "bcast") else model_or_fn
+        prep = fn(comm, 0, nbytes, CFG, data=data)
+    else:
+        data = (
+            {r: rng.integers(0, 9, nbytes, dtype=np.uint8) for r in range(nranks)}
+            if carry
+            else None
+        )
+        fn = model_or_fn.reduce if hasattr(model_or_fn, "reduce") else model_or_fn
+        prep = fn(comm, 0, nbytes, CFG, data=data, op=SUM)
+    handle = prep.launch() if hasattr(prep, "launch") else prep(comm, 0, nbytes, CFG)
+    world.run()
+    assert handle.done
+    return handle, data, nranks
+
+
+class TestLibraryCorrectness:
+    @pytest.mark.parametrize(
+        "lib", ["OMPI-adapt", "OMPI-default", "OMPI-default-topo", "Intel MPI",
+                "Cray MPI", "MVAPICH"]
+    )
+    def test_bcast_payload_correct(self, lib):
+        spec = cori(nodes=2)
+        handle, data, nranks = run_model(library_by_name(lib), spec, "bcast")
+        for r in range(nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"{lib} rank {r}",
+            )
+
+    @pytest.mark.parametrize(
+        "lib", ["OMPI-adapt", "OMPI-default", "Intel MPI", "Cray MPI", "MVAPICH"]
+    )
+    def test_reduce_result_correct(self, lib):
+        spec = cori(nodes=2)
+        handle, data, nranks = run_model(library_by_name(lib), spec, "reduce")
+        expected = sum(data[r].astype(np.uint64) for r in range(nranks)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            np.asarray(handle.output[0]).view(np.uint8), expected, err_msg=lib
+        )
+
+    def test_intel_reduce_model_differs_by_machine(self):
+        # Shumilin on Omni-Path (stampede2), hierarchical elsewhere.
+        h_cori, _, _ = run_model(library_by_name("Intel MPI"), cori(2), "reduce", carry=False)
+        h_st, _, _ = run_model(
+            library_by_name("Intel MPI"), stampede2(2), "reduce", carry=False
+        )
+        assert "shumilin" in h_st.name.lower()
+        assert "shumilin" not in h_cori.name.lower()
+
+    def test_mvapich_small_messages_use_binomial(self):
+        spec = cori(nodes=2)
+        handle, _, _ = run_model(
+            library_by_name("MVAPICH"), spec, "bcast", nbytes=16 << 10
+        )
+        assert "blocking" in handle.name
+
+    def test_mvapich_large_messages_use_scatter_allgather(self):
+        spec = cori(nodes=2)
+        handle, _, _ = run_model(
+            library_by_name("MVAPICH"), spec, "bcast", nbytes=1 << 20
+        )
+        assert "scatter-allgather" in handle.name
+
+
+class TestIntelVariants:
+    @pytest.mark.parametrize("name", sorted(intel_topo_bcast_variants()))
+    def test_bcast_variants_correct(self, name):
+        fn = intel_topo_bcast_variants()[name]
+        spec = cori(nodes=2)
+        handle, data, nranks = run_model(fn, spec, "bcast")
+        for r in range(nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"{name} rank {r}",
+            )
+
+    @pytest.mark.parametrize("name", sorted(intel_topo_reduce_variants()))
+    def test_reduce_variants_correct(self, name):
+        fn = intel_topo_reduce_variants()[name]
+        spec = cori(nodes=2)
+        handle, data, nranks = run_model(fn, spec, "reduce")
+        expected = sum(data[r].astype(np.uint64) for r in range(nranks)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            np.asarray(handle.output[0]).view(np.uint8), expected, err_msg=name
+        )
+
+
+class TestGpuModels:
+    @pytest.mark.parametrize("lib", ["OMPI-adapt", "OMPI-default", "MVAPICH"])
+    def test_gpu_bcast_correct(self, lib):
+        spec = psg_gpu(nodes=2)
+        handle, data, nranks = run_model(
+            library_by_name(lib), spec, "bcast", nbytes=1 << 20, gpu=True
+        )
+        for r in range(nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"{lib} rank {r}",
+            )
+
+    def test_adapt_gpu_reduce_offloads(self):
+        # With offload, host CPUs only pay kernel launches; the arithmetic
+        # runs on streams. Compare total CPU busy-time against the same
+        # reduce forced onto the CPUs.
+        def total_cpu_busy(offload: bool) -> float:
+            from repro.collectives import reduce_adapt
+            from repro.collectives.base import CollectiveContext
+            from repro.trees import topology_aware_tree
+
+            spec = psg_gpu(nodes=2)
+            world = MpiWorld(spec, spec.total_gpus, gpu_bound=True)
+            comm = Communicator(world)
+            tree = topology_aware_tree(world.topology, list(comm.ranks), 0)
+            # Large segments: arithmetic (~100 us/segment on the CPU) must
+            # dwarf the 4 us kernel launch for the offload saving to show.
+            cfg = CollectiveConfig(segment_size=512 * 1024)
+            ctx = CollectiveContext(
+                comm, 0, 4 << 20, cfg, tree=tree, op=SUM, reduce_on_gpu=offload
+            )
+            reduce_adapt(ctx)
+            world.run()
+            return sum(rt.cpu.busy_time for rt in world.ranks)
+
+        assert total_cpu_busy(True) < total_cpu_busy(False) / 2

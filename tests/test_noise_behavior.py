@@ -1,0 +1,169 @@
+"""Noise injection and the paper's Section 2 dependency analysis.
+
+These tests pin the *mechanisms* the paper argues with: blocking and
+Waitall-based implementations propagate a single process's delay to its
+siblings (Figures 1-3), while ADAPT's event-driven design confines it to the
+data-dependent subtree (Figure 4 / Section 2.2.2).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import bcast_adapt, bcast_blocking, bcast_nonblocking
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig
+from repro.machine import cori, small_test_machine
+from repro.mpi import Communicator, MpiWorld
+from repro.noise import NoiseInjector, noise_profile
+from repro.trees import Tree
+
+
+class TestNoiseProfile:
+    def test_duty_cycle_mapping(self):
+        # 5% at 10 Hz -> uniform(0, 10 ms).
+        assert noise_profile(5.0, 10.0) == pytest.approx(0.010)
+        assert noise_profile(10.0, 10.0) == pytest.approx(0.020)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            noise_profile(-1)
+
+
+class TestNoiseInjector:
+    def test_zero_percent_schedules_nothing(self):
+        world = MpiWorld(small_test_machine(), 8)
+        inj = NoiseInjector(world, 0.0)
+        assert inj.arm(1.0) == 0
+
+    def test_events_at_fixed_frequency(self):
+        world = MpiWorld(small_test_machine(), 8)
+        inj = NoiseInjector(world, 5.0, frequency_hz=10.0, ranks=[0], seed=1)
+        n = inj.arm(1.0)
+        assert n == pytest.approx(10, abs=1)
+
+    def test_rearming_does_not_double_inject(self):
+        world = MpiWorld(small_test_machine(), 8)
+        inj = NoiseInjector(world, 5.0, ranks=[0, 1], seed=1)
+        n1 = inj.arm(1.0)
+        n2 = inj.arm(0.5)  # fully inside the already-armed window
+        assert n2 == 0
+        assert inj.events_injected == n1
+
+    def test_same_seed_same_timeline(self):
+        def timeline(seed):
+            world = MpiWorld(small_test_machine(), 8)
+            inj = NoiseInjector(world, 5.0, ranks=[0], seed=seed)
+            inj.arm(1.0)
+            world.run()
+            return world.ranks[0].cpu.noise_time
+
+        assert timeline(7) == timeline(7)
+        assert timeline(7) != timeline(8)
+
+    def test_mean_duty_cycle_approximates_percent(self):
+        world = MpiWorld(small_test_machine(), 8)
+        inj = NoiseInjector(world, 5.0, ranks=list(range(8)), seed=3)
+        inj.arm(50.0)
+        world.run()
+        duty = sum(rt.cpu.noise_time for rt in world.ranks) / (50.0 * 8)
+        assert duty == pytest.approx(0.05, rel=0.25)
+
+
+def _delay_pattern(algo, delayed_child: int, delay: float):
+    """Star tree: root 0 with four children. Delay one child's start and
+    report every rank's completion time."""
+    spec = cori(nodes=1)
+    world = MpiWorld(spec, 5)
+    comm = Communicator(world)
+    tree = Tree.from_parents([None, 0, 0, 0, 0], root=0)
+    # All children on distinct... same socket; what matters is ordering.
+    config = CollectiveConfig(segment_size=64 * 1024)
+    ctx = CollectiveContext(comm, 0, 1 << 20, config, tree=tree)
+    if delay > 0:
+        world.inject_noise(delayed_child, delay)
+    handle = algo(ctx)
+    world.run()
+    return {r: handle.done_time[r] for r in range(5)}
+
+
+class TestDependencyAnalysis:
+    """The paper's Figure 2: who is delayed when one child is noisy."""
+
+    @pytest.mark.parametrize("algo", [bcast_blocking, bcast_nonblocking, bcast_adapt])
+    def test_baseline_all_complete(self, algo):
+        done = _delay_pattern(algo, delayed_child=1, delay=0.0)
+        assert len(done) == 5
+
+    def test_blocking_propagates_to_siblings(self):
+        base = _delay_pattern(bcast_blocking, 1, 0.0)
+        noisy = _delay_pattern(bcast_blocking, 1, 5e-3)
+        # The noisy child itself is late...
+        assert noisy[1] > base[1] + 4e-3
+        # ...and so are its siblings (synchronization dependency, Fig 2b).
+        assert noisy[2] > base[2] + 4e-3
+
+    def test_adapt_confines_delay_to_noisy_subtree(self):
+        base = _delay_pattern(bcast_adapt, 1, 0.0)
+        noisy = _delay_pattern(bcast_adapt, 1, 5e-3)
+        assert noisy[1] > base[1] + 4e-3
+        # Siblings are (essentially) unaffected: child independence.
+        for sibling in (2, 3, 4):
+            assert noisy[sibling] < base[sibling] + 1e-3, (
+                f"sibling {sibling} delayed: {base[sibling]} -> {noisy[sibling]}"
+            )
+
+    def test_nonblocking_waitall_still_propagates(self):
+        base = _delay_pattern(bcast_nonblocking, 1, 0.0)
+        noisy = _delay_pattern(bcast_nonblocking, 1, 5e-3)
+        # Multi-segment pipeline: the Waitall after segment 0's sends blocks
+        # segment 1 to *all* children behind the delayed child.
+        assert noisy[2] > base[2] + 4e-3
+
+    def test_adapt_less_sensitive_than_waitall_end_to_end(self):
+        base_nb = max(_delay_pattern(bcast_nonblocking, 1, 0.0).values())
+        noisy_nb = max(_delay_pattern(bcast_nonblocking, 1, 5e-3).values())
+        base_ad = max(_delay_pattern(bcast_adapt, 1, 0.0).values())
+        noisy_ad = max(_delay_pattern(bcast_adapt, 1, 5e-3).values())
+        # Both see the delayed child finish late, but ADAPT's *other* ranks
+        # finished long before; compare the second-largest completion.
+        def second_largest(algo, delay):
+            v = sorted(_delay_pattern(algo, 1, delay).values())
+            return v[-2]
+
+        assert (
+            second_largest(bcast_adapt, 5e-3) - second_largest(bcast_adapt, 0.0)
+            < (
+                second_largest(bcast_nonblocking, 5e-3)
+                - second_largest(bcast_nonblocking, 0.0)
+            )
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    percent=st.sampled_from([5.0, 10.0]),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_noise_never_breaks_correctness(seed, percent):
+    """Payloads survive arbitrary noise timelines bit-for-bit."""
+    spec = small_test_machine()
+    world = MpiWorld(spec, 16, carry_data=True)
+    comm = Communicator(world)
+    inj = NoiseInjector(world, percent, frequency_hz=1000.0, seed=seed)
+    inj.arm(0.5)
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, size=64 * 1024, dtype=np.uint8)
+    from repro.trees import topology_aware_tree
+
+    tree = topology_aware_tree(world.topology, list(comm.ranks), 0)
+    ctx = CollectiveContext(
+        comm, 0, payload.nbytes, CollectiveConfig(segment_size=8 * 1024),
+        tree=tree, data=payload,
+    )
+    handle = bcast_adapt(ctx)
+    world.run()
+    assert handle.done
+    for r in range(16):
+        np.testing.assert_array_equal(np.asarray(handle.output[r]).view(np.uint8), payload)

@@ -1,0 +1,126 @@
+"""Edge-case tests for the proclet coroutine layer."""
+
+import pytest
+
+from repro.machine import small_test_machine
+from repro.mpi import Compute, MpiWorld, ProcletDriver, Sleep, WaitAll, WaitAny
+
+
+def make_world(nranks=4):
+    return MpiWorld(small_test_machine(), nranks)
+
+
+class TestProcletEdges:
+    def test_empty_generator_completes_immediately(self):
+        w = make_world()
+
+        def noop(rt):
+            return 42
+            yield  # pragma: no cover - makes it a generator
+
+        d = ProcletDriver(w.ranks[0], noop(w.ranks[0]))
+        w.run()
+        assert d.done and d.result == 42
+
+    def test_waitall_on_already_completed_requests(self):
+        w = make_world()
+        results = []
+
+        def program(rt):
+            req = rt.isend(1, 0, 64)  # eager: completes quickly
+            yield req
+            # Waiting again on the same (completed) request must not hang.
+            yield WaitAll([req])
+            results.append("ok")
+
+        def receiver(rt):
+            yield rt.irecv(0, 0, 64)
+
+        ProcletDriver(w.ranks[0], program(w.ranks[0]))
+        ProcletDriver(w.ranks[1], receiver(w.ranks[1]))
+        w.run()
+        assert results == ["ok"]
+
+    def test_waitall_empty_batch(self):
+        w = make_world()
+        seen = []
+
+        def program(rt):
+            yield WaitAll([])
+            seen.append(w.engine.now)
+
+        ProcletDriver(w.ranks[0], program(w.ranks[0]))
+        w.run()
+        assert len(seen) == 1
+
+    def test_waitany_with_completed_request_returns_immediately(self):
+        w = make_world()
+
+        def program(rt):
+            req = rt.isend(1, 0, 64)
+            yield req
+            idx, r = yield WaitAny([req])
+            return idx
+
+        def receiver(rt):
+            yield rt.irecv(0, 0, 64)
+
+        d = ProcletDriver(w.ranks[0], program(w.ranks[0]))
+        ProcletDriver(w.ranks[1], receiver(w.ranks[1]))
+        w.run()
+        assert d.result == 0
+
+    def test_list_yield_is_waitall(self):
+        w = make_world()
+
+        def sender(rt):
+            reqs = [rt.isend(1, t, 64) for t in range(3)]
+            yield reqs  # plain list == WaitAll
+            return "sent"
+
+        def receiver(rt):
+            yield [rt.irecv(0, t, 64) for t in range(3)]
+
+        d = ProcletDriver(w.ranks[0], sender(w.ranks[0]))
+        ProcletDriver(w.ranks[1], receiver(w.ranks[1]))
+        w.run()
+        assert d.result == "sent"
+
+    def test_zero_compute_and_sleep(self):
+        w = make_world()
+
+        def program(rt):
+            yield Compute(0.0)
+            yield Sleep(0.0)
+            return w.engine.now
+
+        d = ProcletDriver(w.ranks[0], program(w.ranks[0]))
+        w.run()
+        assert d.done
+
+    def test_on_done_callback(self):
+        w = make_world()
+        seen = []
+
+        def program(rt):
+            yield Sleep(1e-6)
+            return "x"
+
+        ProcletDriver(w.ranks[0], program(w.ranks[0]),
+                      on_done=lambda d: seen.append(d.result))
+        w.run()
+        assert seen == ["x"]
+
+    def test_many_proclets_on_one_rank_serialize_on_cpu(self):
+        w = make_world()
+        order = []
+
+        def program(rt, tag):
+            yield Compute(1e-6)
+            order.append(tag)
+
+        for tag in range(5):
+            ProcletDriver(w.ranks[0], program(w.ranks[0], tag))
+        w.run()
+        assert order == list(range(5))
+        assert w.engine.now == pytest.approx(5e-6)

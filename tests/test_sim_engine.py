@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine and CPU model."""
+
+import pytest
+
+from repro.sim import Cpu, Engine, SimulationError
+
+
+class TestEngine:
+    def test_runs_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.call_at(3e-6, order.append, "c")
+        eng.call_at(1e-6, order.append, "a")
+        eng.call_at(2e-6, order.append, "b")
+        eng.run()
+        assert order == ["a", "b", "c"]
+        assert eng.now == pytest.approx(3e-6)
+
+    def test_ties_fire_in_scheduling_order(self):
+        eng = Engine()
+        order = []
+        for label in "abcde":
+            eng.call_at(1e-6, order.append, label)
+        eng.run()
+        assert order == list("abcde")
+
+    def test_call_after_relative(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(5e-6, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [pytest.approx(5e-6)]
+
+    def test_cancellation(self):
+        eng = Engine()
+        fired = []
+        h = eng.call_at(1e-6, fired.append, 1)
+        eng.call_at(2e-6, fired.append, 2)
+        h.cancel()
+        eng.run()
+        assert fired == [2]
+
+    def test_cancel_idempotent(self):
+        eng = Engine()
+        h = eng.call_at(1e-6, lambda: None)
+        h.cancel()
+        h.cancel()
+        eng.run()
+        assert eng.events_processed == 0
+
+    def test_events_can_schedule_events(self):
+        eng = Engine()
+        times = []
+
+        def tick(n):
+            times.append(eng.now)
+            if n > 0:
+                eng.call_after(1e-6, tick, n - 1)
+
+        eng.call_at(0.0, tick, 3)
+        eng.run()
+        assert times == [pytest.approx(i * 1e-6) for i in range(4)]
+
+    def test_run_until(self):
+        eng = Engine()
+        fired = []
+        eng.call_at(1.0, fired.append, "late")
+        eng.run(until=0.5)
+        assert fired == []
+        assert eng.now == pytest.approx(0.5)
+        eng.run()
+        assert fired == ["late"]
+
+    def test_scheduling_in_past_rejected(self):
+        eng = Engine()
+        eng.call_at(1e-6, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(0.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.call_after(-1.0, lambda: None)
+
+    def test_pending_counts_live_events(self):
+        eng = Engine()
+        h1 = eng.call_at(1.0, lambda: None)
+        eng.call_at(2.0, lambda: None)
+        assert eng.pending() == 2
+        h1.cancel()
+        assert eng.pending() == 1
+
+    def test_step(self):
+        eng = Engine()
+        seen = []
+        eng.call_at(1e-6, seen.append, 1)
+        eng.call_at(2e-6, seen.append, 2)
+        assert eng.step()
+        assert seen == [1]
+        assert eng.step()
+        assert not eng.step()
+
+
+class TestCpu:
+    def test_serial_execution(self):
+        eng = Engine()
+        cpu = Cpu(eng)
+        done = []
+        cpu.execute(1e-6, done.append, "a")
+        cpu.execute(2e-6, done.append, "b")
+        eng.run()
+        assert done == ["a", "b"]
+        assert eng.now == pytest.approx(3e-6)
+
+    def test_noise_delays_subsequent_work(self):
+        eng = Engine()
+        cpu = Cpu(eng)
+        times = []
+        cpu.inject_noise(5e-3)
+        cpu.execute(1e-6, lambda: times.append(eng.now))
+        eng.run()
+        assert times[0] == pytest.approx(5e-3 + 1e-6)
+        assert cpu.noise_time == pytest.approx(5e-3)
+        assert cpu.busy_time == pytest.approx(1e-6)
+
+    def test_when_available(self):
+        eng = Engine()
+        cpu = Cpu(eng)
+        times = []
+        cpu.execute(2e-6, lambda: None)
+        cpu.when_available(lambda: times.append(eng.now))
+        eng.run()
+        assert times == [pytest.approx(2e-6)]
+
+    def test_idle_cpu_runs_immediately(self):
+        eng = Engine()
+        cpu = Cpu(eng)
+        end = cpu.execute(1e-6)
+        assert end == pytest.approx(1e-6)
+
+    def test_negative_duration_rejected(self):
+        eng = Engine()
+        cpu = Cpu(eng)
+        with pytest.raises(ValueError):
+            cpu.execute(-1.0)
+        with pytest.raises(ValueError):
+            cpu.inject_noise(-1.0)
