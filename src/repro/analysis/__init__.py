@@ -1,0 +1,72 @@
+"""Static/semi-static analysis of simulated MPI communication schedules.
+
+Three layers (see DESIGN.md S16):
+
+* :mod:`repro.analysis.depgraph` — run a schedule on an instrumented
+  recording world and extract its happens-before DAG, with every edge
+  classified as a data dependency, a synchronization dependency (the ones
+  ADAPT eliminates, Section 2), or window flow control.
+* :mod:`repro.analysis.lint` — prove/lint properties of the extracted
+  graph: deadlock cycles, unmatched or mismatched operations, leaked
+  requests, the ``M > N`` unexpected-message rule, and the Figure 2
+  certification (`python -m repro lint`).
+* :mod:`repro.analysis.sanitizer` — opt-in runtime invariant assertions
+  for real simulations (``MpiWorld(..., sanitize=True)``).
+"""
+
+from repro.analysis.depgraph import (
+    DATA,
+    FLOW,
+    ORDER,
+    SYNC,
+    BlockedWait,
+    DepEdge,
+    DepGraph,
+    GraphRecorder,
+    OpNode,
+    record,
+)
+from repro.analysis.lint import (
+    Certification,
+    Finding,
+    LintReport,
+    certify,
+    lint,
+    render_report,
+)
+from repro.analysis.sanitizer import Sanitizer, SanitizerError
+from repro.analysis.schedules import (
+    DEMO_SCHEDULES,
+    SCHEDULES,
+    TREES,
+    analyze_schedule,
+    deadlock_demo,
+    tag_mismatch_demo,
+)
+
+__all__ = [
+    "DATA",
+    "FLOW",
+    "ORDER",
+    "SYNC",
+    "BlockedWait",
+    "Certification",
+    "DepEdge",
+    "DepGraph",
+    "DEMO_SCHEDULES",
+    "Finding",
+    "GraphRecorder",
+    "LintReport",
+    "OpNode",
+    "SCHEDULES",
+    "Sanitizer",
+    "SanitizerError",
+    "TREES",
+    "analyze_schedule",
+    "certify",
+    "deadlock_demo",
+    "lint",
+    "record",
+    "render_report",
+    "tag_mismatch_demo",
+]

@@ -1,0 +1,356 @@
+"""Schedule linter: prove properties of an extracted dependency graph.
+
+Rules, per Section 2 of the paper and standard MPI hygiene:
+
+* ``deadlock-cycle`` — the world quiesced with proclets blocked in a
+  waits-for cycle (rank A waits on a message only rank B can produce, and
+  vice versa). Error; this is the bug class blocking schedules admit.
+* ``unmatched-send`` / ``unmatched-recv`` — a posted operation whose pair
+  never appeared: the payload is stranded in the unexpected queue, or the
+  recv never completes. Both are reported with the rank/peer/tag triple.
+* ``tag-mismatch`` / ``peer-mismatch`` — an unmatched send and an unmatched
+  recv that agree on the endpoints but disagree on the tag (or agree on the
+  tag but cross peers): almost always a schedule authoring bug.
+* ``leaked-request`` — an incomplete request not owned by any blocked
+  waiter: an event-driven schedule posted it and lost track (its callback
+  can never fire).
+* ``unexpected-risk`` — static form of the Section 2.2.1 rule: the recv
+  window ``M`` must exceed the send window ``N`` or segments can arrive
+  before their recv is posted and pay the extra unexpected-queue copy.
+* ``unexpected-messages`` — the dynamic counterpart: the run actually
+  buffered eager messages in the unexpected queue.
+* ``graph-cycle`` — the happens-before graph itself has a cycle (recorder
+  or runtime bug; happens-before must be a DAG).
+
+``certify`` summarizes the dependency census the paper's Figure 2 argument
+is about: ADAPT schedules must show **zero** synchronization edges while
+blocking/Waitall schedules show the sibling-coupling edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.depgraph import DepGraph
+from repro.harness.report import format_findings, format_table
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint result, structured for programmatic assertion."""
+
+    rule: str
+    severity: str
+    message: str
+    rank: Optional[int] = None
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    path: tuple[str, ...] = ()
+
+    def as_row(self) -> tuple:
+        def cell(v: object) -> str:
+            return "-" if v is None else str(v)
+
+        return (self.severity, self.rule, cell(self.rank), cell(self.peer),
+                cell(self.tag), self.message)
+
+
+@dataclass
+class Certification:
+    """Dependency census of one schedule (the Figure 2 summary)."""
+
+    schedule: str
+    data_edges: int
+    sync_edges: int
+    flow_edges: int
+    sibling_coupling: int
+    sync_by_via: dict[str, int]
+    nodes_by_kind: dict[str, int]
+
+    @property
+    def zero_sync(self) -> bool:
+        return self.sync_edges == 0
+
+    def verdict(self) -> str:
+        if self.zero_sync:
+            return (
+                "CERTIFIED: 0 synchronization dependencies "
+                "(only data and flow-control edges remain)"
+            )
+        return (
+            f"{self.sync_edges} synchronization dependencies "
+            f"({self.sibling_coupling} sibling-coupling)"
+        )
+
+
+@dataclass
+class LintReport:
+    graph: DepGraph
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def render(self) -> str:
+        return render_report(self.graph, self.findings)
+
+
+def certify(graph: DepGraph) -> Certification:
+    sync = graph.sync_edges()
+    by_via: dict[str, int] = {}
+    for e in sync:
+        by_via[e.via] = by_via.get(e.via, 0) + 1
+    by_kind: dict[str, int] = {}
+    for n in graph.nodes.values():
+        by_kind[n.kind] = by_kind.get(n.kind, 0) + 1
+    return Certification(
+        schedule=str(graph.meta.get("schedule", "?")),
+        data_edges=len(graph.data_edges()),
+        sync_edges=len(sync),
+        flow_edges=len(graph.flow_edges()),
+        sibling_coupling=len(graph.sibling_coupling_edges()),
+        sync_by_via=by_via,
+        nodes_by_kind=by_kind,
+    )
+
+
+# -- rules ---------------------------------------------------------------------
+
+
+def _find_deadlock(graph: DepGraph) -> list[Finding]:
+    """Cycle detection on the rank-level waits-for graph at quiescence."""
+    if not graph.blocked:
+        return []
+    waits_for: dict[int, set[int]] = {}
+    detail: dict[int, list[str]] = {}
+    for b in graph.blocked:
+        for nid in b.pending:
+            node = graph.nodes[nid]
+            if node.peer is None:
+                continue
+            waits_for.setdefault(b.rank, set()).add(node.peer)
+            detail.setdefault(b.rank, []).append(node.describe())
+    # Iterative DFS for a cycle in the small rank digraph.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {r: WHITE for r in waits_for}
+    cycle: Optional[list[int]] = None
+    for root in sorted(waits_for):
+        if color.get(root, WHITE) != WHITE or cycle:
+            continue
+        path = [root]
+        stack = [(root, iter(sorted(waits_for.get(root, ()))))]
+        color[root] = GREY
+        while stack and cycle is None:
+            rank, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color.get(nxt, WHITE) == GREY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    break
+                if color.get(nxt, WHITE) == WHITE and nxt in waits_for:
+                    color[nxt] = GREY
+                    path.append(nxt)
+                    stack.append((nxt, iter(sorted(waits_for.get(nxt, ())))))
+                    advanced = True
+                    break
+            if cycle or advanced:
+                continue
+            color[rank] = BLACK
+            path.pop()
+            stack.pop()
+    if cycle is None:
+        return []
+    ranks = cycle[:-1]
+    path_desc = tuple(
+        f"rank {r} blocked on {', '.join(detail.get(r, ['?']))}" for r in ranks
+    )
+    return [
+        Finding(
+            rule="deadlock-cycle",
+            severity=ERROR,
+            message=(
+                "waits-for cycle at quiescence: "
+                + " -> ".join(str(r) for r in cycle)
+            ),
+            rank=ranks[0],
+            path=path_desc,
+        )
+    ]
+
+
+def _find_unmatched(graph: DepGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    sends = [graph.nodes[n] for n in graph.unmatched_sends]
+    recvs = [graph.nodes[n] for n in graph.unmatched_recvs]
+    blocked_ids = {nid for b in graph.blocked for nid in b.pending}
+    paired: set[int] = set()
+    for s in sends:
+        partner = next(
+            (r for r in recvs
+             if r.nid not in paired and r.rank == s.peer and r.peer == s.rank
+             and r.tag != s.tag),
+            None,
+        )
+        if partner is not None:
+            paired.add(partner.nid)
+            paired.add(s.nid)
+            findings.append(Finding(
+                rule="tag-mismatch", severity=ERROR,
+                message=(
+                    f"send tag {s.tag} vs posted recv tag {partner.tag} "
+                    f"between ranks {s.rank} and {s.peer}"
+                ),
+                rank=s.rank, peer=s.peer, tag=s.tag,
+                path=(s.describe(), partner.describe()),
+            ))
+            continue
+        crossed = next(
+            (r for r in recvs
+             if r.nid not in paired and r.rank == s.peer and r.tag == s.tag
+             and r.peer != s.rank),
+            None,
+        )
+        if crossed is not None:
+            paired.add(crossed.nid)
+            paired.add(s.nid)
+            findings.append(Finding(
+                rule="peer-mismatch", severity=ERROR,
+                message=(
+                    f"send from rank {s.rank} but rank {s.peer} expects the "
+                    f"message from rank {crossed.peer} (tag {s.tag})"
+                ),
+                rank=s.rank, peer=s.peer, tag=s.tag,
+                path=(s.describe(), crossed.describe()),
+            ))
+    for s in sends:
+        if s.nid in paired:
+            continue
+        findings.append(Finding(
+            rule="unmatched-send", severity=ERROR,
+            message="no matching recv ever consumed this message",
+            rank=s.rank, peer=s.peer, tag=s.tag, path=(s.describe(),),
+        ))
+    for r in recvs:
+        if r.nid in paired:
+            continue
+        rule = "unmatched-recv" if r.nid in blocked_ids else "leaked-request"
+        msg = (
+            "posted recv never matched by any send"
+            if rule == "unmatched-recv"
+            else "incomplete request with no waiter: its callback can never fire"
+        )
+        findings.append(Finding(
+            rule=rule, severity=ERROR, message=msg,
+            rank=r.rank, peer=r.peer, tag=r.tag, path=(r.describe(),),
+        ))
+    return findings
+
+
+def _find_unexpected(graph: DepGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    m = graph.stats.posted_recvs_window
+    n = graph.stats.inflight_sends_window
+    if m is not None and n is not None and m <= n:
+        findings.append(Finding(
+            rule="unexpected-risk", severity=WARNING,
+            message=(
+                f"recv window M={m} <= send window N={n}: Section 2.2.1 "
+                "requires M > N or segments arrive before their recv is posted"
+            ),
+        ))
+    if graph.stats.unexpected_eager > 0:
+        findings.append(Finding(
+            rule="unexpected-messages", severity=WARNING,
+            message=(
+                f"{graph.stats.unexpected_eager} eager message(s) arrived "
+                "unexpected and paid the buffered-copy penalty"
+            ),
+        ))
+    return findings
+
+
+def _find_graph_cycle(graph: DepGraph) -> list[Finding]:
+    cycle = graph.has_cycle()
+    if cycle is None:
+        return []
+    path = tuple(graph.nodes[n].describe() for n in cycle)
+    return [Finding(
+        rule="graph-cycle", severity=ERROR,
+        message="happens-before graph contains a cycle (must be a DAG)",
+        path=path,
+    )]
+
+
+def lint(graph: DepGraph) -> LintReport:
+    """Run every rule against one extracted graph."""
+    findings: list[Finding] = []
+    findings.extend(_find_deadlock(graph))
+    findings.extend(_find_unmatched(graph))
+    findings.extend(_find_unexpected(graph))
+    findings.extend(_find_graph_cycle(graph))
+    order = {ERROR: 0, WARNING: 1}
+    findings.sort(key=lambda f: (order.get(f.severity, 2), f.rule, f.rank or -1))
+    return LintReport(graph=graph, findings=findings)
+
+
+# -- rendering ------------------------------------------------------------------
+
+
+def render_report(graph: DepGraph, findings: list[Finding]) -> str:
+    cert = certify(graph)
+    meta = graph.meta
+    title = "Schedule analysis: " + " ".join(
+        f"{k}={meta[k]}" for k in ("schedule", "tree", "nranks", "nbytes", "segments")
+        if k in meta
+    )
+    kinds = sorted(cert.nodes_by_kind)
+    census_rows = [
+        ("nodes", " ".join(f"{k}={cert.nodes_by_kind[k]}" for k in kinds)),
+        ("data edges", str(cert.data_edges)),
+        ("flow-control edges", str(cert.flow_edges)),
+        ("synchronization edges", str(cert.sync_edges)),
+        ("  sibling-coupling", str(cert.sibling_coupling)),
+    ]
+    for via, count in sorted(cert.sync_by_via.items()):
+        census_rows.append((f"  via {via}", str(count)))
+    out = [format_table(title, ["dependency census", "count"], census_rows), ""]
+    sibling = graph.sibling_coupling_edges()
+    if sibling:
+        out.append("Sibling-coupling edges (Figure 2), first 8:")
+        for e in sibling[:8]:
+            out.append("  " + graph.describe_edge(e))
+        out.append("")
+    if findings:
+        out.append(format_findings([f.as_row() for f in findings]))
+        for f in findings:
+            if f.path:
+                out.append(f"  {f.rule}:")
+                for step in f.path:
+                    out.append(f"    {step}")
+        out.append("")
+    else:
+        out.append("No lint findings.")
+        out.append("")
+    errors = [f for f in findings if f.severity == ERROR]
+    if errors:
+        # A schedule with error findings is broken regardless of its
+        # dependency census; don't let it read as certified.
+        out.append(
+            f"NOT CERTIFIED: {len(errors)} error finding(s) "
+            f"({cert.sync_edges} synchronization dependencies)"
+        )
+    else:
+        out.append(cert.verdict())
+    return "\n".join(out)

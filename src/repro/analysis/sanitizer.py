@@ -1,0 +1,128 @@
+"""Runtime sanitizer: assert simulator invariants while a world runs.
+
+Opt-in via ``MpiWorld(..., sanitize=True)``. The sanitizer is the dynamic
+counterpart of the static linter: instead of proving properties of an
+extracted graph, it checks invariants *during* a real (timed, noisy, GPU)
+simulation and raises :class:`SanitizerError` at the first violation:
+
+* every request posted is eventually completed, and completion time never
+  precedes posting time;
+* at world drain (a ``run()`` to quiescence) no request is in flight and no
+  matcher queue holds stranded posted recvs or unexpected payloads;
+* ADAPT in-flight send windows stay within ``[0, N]`` (a negative or
+  over-cap window means the refill accounting broke);
+* max-min fair-share allocations conserve link capacity: the flows crossing
+  a link never sum above its rate, no flow runs negative or above its cap;
+* per-rank trace timestamps are monotonically non-decreasing (the event
+  engine must never run a rank backwards in time).
+
+The checks are deliberately cheap (O(1) per event, O(flows) per rebalance)
+so sanitized runs stay usable for the full correctness suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+# Relative slack for float accumulation in rate sums.
+_RATE_TOL = 1e-6
+
+
+class SanitizerError(AssertionError):
+    """An invariant the simulator promised was violated."""
+
+
+class Sanitizer:
+    """Per-world invariant checker (see module docstring)."""
+
+    def __init__(self, world: Any):
+        self.world = world
+        self._pending: dict[Any, float] = {}  # request -> post time
+        self._last_trace: dict[int, float] = {}
+        self.checks_run = 0
+
+    # -- request lifecycle -------------------------------------------------------
+
+    def on_post(self, req: Any) -> None:
+        self.checks_run += 1
+        if req in self._pending:
+            raise SanitizerError(f"request posted twice: {req!r}")
+        self._pending[req] = self.world.engine.now
+
+    def on_complete(self, req: Any) -> None:
+        self.checks_run += 1
+        posted = self._pending.pop(req, None)
+        if posted is None:
+            raise SanitizerError(f"completion of a request never posted: {req!r}")
+        now = self.world.engine.now
+        if now < posted:
+            raise SanitizerError(
+                f"request completed at t={now} before its post at t={posted}: {req!r}"
+            )
+
+    def check_drained(self) -> None:
+        """World ran to quiescence: nothing may remain in flight."""
+        self.checks_run += 1
+        if self._pending:
+            sample = sorted(
+                (repr(r) for r in self._pending), key=str
+            )[:5]
+            raise SanitizerError(
+                f"{len(self._pending)} request(s) still in flight at world "
+                f"drain, e.g. {sample}"
+            )
+        for rt in self.world.ranks:
+            posted = rt.matcher.pending_posted()
+            inbound = rt.matcher.pending_inbound()
+            if posted or inbound:
+                raise SanitizerError(
+                    f"rank {rt.rank} matcher not empty at drain: "
+                    f"{posted} posted recv(s), {inbound} stranded arrival(s)"
+                )
+
+    # -- collective windows ------------------------------------------------------
+
+    def window(self, rank: int, peer: Any, value: int, cap: int) -> None:
+        self.checks_run += 1
+        if value < 0:
+            raise SanitizerError(
+                f"rank {rank}: in-flight window to {peer} went negative ({value})"
+            )
+        if value > cap:
+            raise SanitizerError(
+                f"rank {rank}: in-flight window to {peer} exceeds N={cap} ({value})"
+            )
+
+    # -- fair-share conservation ---------------------------------------------------
+
+    def check_rates(self, flows: Iterable[Any], links: Iterable[Any]) -> None:
+        self.checks_run += 1
+        for f in flows:
+            if f.done:
+                continue
+            if f.rate < 0:
+                raise SanitizerError(f"flow {f.fid} assigned negative rate {f.rate}")
+            if f.rate > f.rate_cap * (1 + _RATE_TOL):
+                raise SanitizerError(
+                    f"flow {f.fid} rate {f.rate:.6g} exceeds its cap "
+                    f"{f.rate_cap:.6g}"
+                )
+        for link in links:
+            total = sum(f.rate for f in link.flows if not f.done)
+            if total > link.capacity * (1 + _RATE_TOL):
+                raise SanitizerError(
+                    f"link {link.name}: allocated {total:.6g} B/s exceeds "
+                    f"capacity {link.capacity:.6g} B/s "
+                    f"across {len(link.flows)} flow(s)"
+                )
+
+    # -- trace monotonicity ---------------------------------------------------------
+
+    def on_trace(self, time: float, rank: int) -> None:
+        self.checks_run += 1
+        last = self._last_trace.get(rank)
+        if last is not None and time < last:
+            raise SanitizerError(
+                f"rank {rank} trace time went backwards: {time} after {last}"
+            )
+        self._last_trace[rank] = time

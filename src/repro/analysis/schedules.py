@@ -1,0 +1,177 @@
+"""Canonical schedules the analyzer knows how to build and record.
+
+Maps CLI/test-friendly names (``bcast-adapt``, ``reduce-blocking``, ...) to
+launchable collective schedules on a fresh recording world, plus the
+intentionally broken schedules used to exercise the linter: a classic
+swapped-send deadlock and a tag-mismatch orphan.
+
+Recording worlds carry no payload data (structure is independent of bytes)
+and run on the small test machine — extraction is about the dependency
+shape, not timing, so any transport cost model yields the same graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analysis.depgraph import DepGraph, record
+from repro.collectives import (
+    allgather_adapt,
+    allreduce_adapt,
+    barrier_adapt,
+    bcast_adapt,
+    bcast_blocking,
+    bcast_nonblocking,
+    gather_adapt,
+    reduce_adapt,
+    reduce_blocking,
+    reduce_nonblocking,
+    scatter_adapt,
+)
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig, RuntimeConfig
+from repro.machine import small_test_machine
+from repro.mpi.communicator import Communicator
+from repro.mpi.proclet import ProcletDriver
+from repro.mpi.runtime import MpiWorld
+from repro.trees import binary_tree, binomial_tree, chain_tree, flat_tree
+from repro.trees.base import Tree
+
+SCHEDULES: dict[str, Callable] = {
+    "bcast-blocking": bcast_blocking,
+    "bcast-nonblocking": bcast_nonblocking,
+    "bcast-adapt": bcast_adapt,
+    "reduce-blocking": reduce_blocking,
+    "reduce-nonblocking": reduce_nonblocking,
+    "reduce-adapt": reduce_adapt,
+    "scatter-adapt": scatter_adapt,
+    "gather-adapt": gather_adapt,
+    "allreduce-adapt": allreduce_adapt,
+    "barrier-adapt": barrier_adapt,
+    "allgather-adapt": allgather_adapt,
+}
+
+TREES: dict[str, Callable[[int], Tree]] = {
+    "chain": chain_tree,
+    "binary": binary_tree,
+    "binomial": binomial_tree,
+    "flat": flat_tree,
+}
+
+# Schedule names the CLI accepts beyond the real collectives.
+DEMO_SCHEDULES = ("deadlock-demo", "tag-mismatch-demo")
+
+
+def _recording_world(
+    nranks: int,
+    config: Optional[RuntimeConfig] = None,
+    trace: bool = False,
+) -> MpiWorld:
+    nodes = max(1, -(-nranks // 8))  # 8 cores/node on the test machine
+    spec = small_test_machine(nodes=nodes)
+    return MpiWorld(spec, nranks, config=config or RuntimeConfig(), trace=trace)
+
+
+def analyze_schedule(
+    name: str,
+    nranks: int = 8,
+    tree: str = "binary",
+    nbytes: int = 512 * 1024,
+    config: Optional[CollectiveConfig] = None,
+    runtime_config: Optional[RuntimeConfig] = None,
+    root: int = 0,
+) -> DepGraph:
+    """Record one collective schedule and return its dependency graph."""
+    if name in DEMO_SCHEDULES:
+        return analyze_demo(name, nranks=nranks, nbytes=nbytes)
+    try:
+        algo = SCHEDULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; choose from "
+            f"{sorted(SCHEDULES) + list(DEMO_SCHEDULES)}"
+        ) from None
+    try:
+        tree_builder = TREES[tree]
+    except KeyError:
+        raise ValueError(f"unknown tree {tree!r}; choose from {sorted(TREES)}") from None
+    config = config or CollectiveConfig(segment_size=64 * 1024)
+    world = _recording_world(nranks, config=runtime_config)
+    comm = Communicator(world)
+    shape = tree_builder(nranks).reroot_relabelled(root)
+    ctx = CollectiveContext(comm, root, nbytes, config, tree=shape)
+    graph = record(
+        world,
+        lambda: algo(ctx),
+        meta={
+            "schedule": name,
+            "tree": tree,
+            "nranks": nranks,
+            "nbytes": nbytes,
+            "segments": len(config.segments_for(nbytes)),
+            "root": root,
+        },
+    )
+    graph.stats.posted_recvs_window = config.posted_recvs
+    graph.stats.inflight_sends_window = config.inflight_sends
+    return graph
+
+
+def analyze_demo(name: str, nranks: int = 2, nbytes: int = 256 * 1024) -> DepGraph:
+    """Record one of the intentionally broken demo schedules."""
+    if name == "deadlock-demo":
+        return deadlock_demo(nranks=max(2, nranks), nbytes=nbytes)
+    if name == "tag-mismatch-demo":
+        # Keep the message eager-sized: the demo's point is the *orphaned*
+        # completed send, not a rendezvous deadlock.
+        return tag_mismatch_demo(nbytes=min(nbytes, 4 * 1024))
+    raise ValueError(f"unknown demo schedule {name!r}")
+
+
+def deadlock_demo(nranks: int = 2, nbytes: int = 256 * 1024) -> DepGraph:
+    """The classic head-to-head blocking-send deadlock.
+
+    Every rank in the ring does a *blocking* send to its neighbour before
+    posting its receive. With rendezvous-sized messages the send cannot
+    complete until the peer posts the matching recv — and every peer is
+    itself stuck in its send. The schedule quiesces with all ranks blocked
+    in a waits-for cycle, which the linter must flag.
+    """
+    # Force rendezvous so the sends truly block (eager sends buffer locally).
+    rcfg = RuntimeConfig(eager_threshold=min(1024, nbytes - 1))
+    world = _recording_world(nranks, config=rcfg)
+
+    def program(rank: int, peer: int):
+        rt = world.ranks[rank]
+        yield rt.isend(peer, tag=rank, nbytes=nbytes)       # blocks forever
+        yield rt.irecv(peer, tag=peer, nbytes=nbytes)       # never reached
+
+    def launch() -> None:
+        for rank in range(nranks):
+            peer = (rank + 1) % nranks
+            ProcletDriver(world.ranks[rank], program(rank, peer))
+
+    return record(
+        world, launch,
+        meta={"schedule": "deadlock-demo", "nranks": nranks, "nbytes": nbytes},
+    )
+
+
+def tag_mismatch_demo(nbytes: int = 4 * 1024) -> DepGraph:
+    """Sender and receiver disagree on the tag: both sides orphan."""
+    world = _recording_world(2)
+
+    def sender():
+        yield world.ranks[0].isend(1, tag=7, nbytes=nbytes)  # eager: completes
+
+    def receiver():
+        yield world.ranks[1].irecv(0, tag=8, nbytes=nbytes)  # never matched
+
+    def launch() -> None:
+        ProcletDriver(world.ranks[0], sender())
+        ProcletDriver(world.ranks[1], receiver())
+
+    return record(
+        world, launch,
+        meta={"schedule": "tag-mismatch-demo", "nranks": 2, "nbytes": nbytes},
+    )

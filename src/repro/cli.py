@@ -92,6 +92,29 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument("--gpu", action="store_true")
     prun.add_argument("--seed", type=int, default=0)
 
+    plint = sub.add_parser(
+        "lint",
+        help="extract a schedule's dependency graph and lint/certify it",
+        description="Record a collective schedule on an instrumented world, "
+        "classify every happens-before edge as data / synchronization / "
+        "flow-control (paper Section 2), and run the schedule linter. "
+        "Exits non-zero when any error-severity finding fires "
+        "(e.g. the deadlock-demo schedule).",
+    )
+    from repro.analysis.schedules import DEMO_SCHEDULES, SCHEDULES, TREES
+
+    plint.add_argument("schedule",
+                       choices=sorted(SCHEDULES) + list(DEMO_SCHEDULES))
+    plint.add_argument("--tree", default="binary", choices=sorted(TREES))
+    plint.add_argument("--ranks", type=int, default=8)
+    plint.add_argument("--nbytes", type=int, default=512 * 1024)
+    plint.add_argument("--root", type=int, default=0)
+    plint.add_argument("--segment-size", type=int, default=64 * 1024)
+    plint.add_argument("--posted-recvs", type=int, default=None,
+                       help="recv window M (default: collective config)")
+    plint.add_argument("--inflight-sends", type=int, default=None,
+                       help="send window N (default: collective config)")
+
     ptree = sub.add_parser("tree", help="print a topology-aware tree")
     ptree.add_argument("--nodes", type=int, default=3)
     ptree.add_argument("--sockets", type=int, default=2)
@@ -138,6 +161,26 @@ def _cmd_run(args) -> str:
     return str(result)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import lint
+    from repro.analysis.schedules import analyze_schedule
+    from repro.config import CollectiveConfig
+
+    kw = {}
+    if args.posted_recvs is not None:
+        kw["posted_recvs"] = args.posted_recvs
+    if args.inflight_sends is not None:
+        kw["inflight_sends"] = args.inflight_sends
+    cfg = CollectiveConfig(segment_size=args.segment_size, **kw)
+    graph = analyze_schedule(
+        args.schedule, nranks=args.ranks, tree=args.tree,
+        nbytes=args.nbytes, config=cfg, root=args.root,
+    )
+    report = lint(graph)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_tree(args) -> str:
     spec = small_test_machine(
         nodes=args.nodes, sockets=args.sockets, cores_per_socket=args.cores
@@ -176,6 +219,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_experiment(args))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "lint":
+        return _cmd_lint(args)
     elif args.command == "tree":
         print(_cmd_tree(args))
     elif args.command == "machines":

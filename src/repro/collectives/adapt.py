@@ -162,14 +162,24 @@ class _AdaptBcastRank:
         while self.inflight[child] < ctx.config.inflight_sends and self.ready[child]:
             seg = self.ready[child].pop(0)
             self.inflight[child] += 1
+            self._check_window(child)
             req = ctx.isend(
                 self.local, child, ctx.seg_tag(seg), self.sizes[seg], self.payloads[seg]
             )
             req.add_callback(lambda r, child=child: self._on_send_done(child))
 
+    def _check_window(self, child: int) -> None:
+        sanitizer = self.ctx.world.sanitizer
+        if sanitizer is not None:
+            sanitizer.window(
+                self.local, child, self.inflight[child],
+                self.ctx.config.inflight_sends,
+            )
+
     def _on_send_done(self, child: int) -> None:
         self.inflight[child] -= 1
         self.sends_done += 1
+        self._check_window(child)
         self._try_send(child)
         self._maybe_finish()
 
@@ -268,7 +278,8 @@ class _AdaptReduceRank:
         if self.ctx.carry():
             self.acc[seg] = self.ctx.combine(self.acc[seg], data)
         self.ctx.charge_reduce(
-            self.local, self.sizes[seg], self._on_reduced, seg
+            self.local, self.sizes[seg], self._on_reduced, seg,
+            tag=self.ctx.seg_tag(seg),
         )
 
     def _on_reduced(self, seg: int) -> None:
@@ -286,14 +297,24 @@ class _AdaptReduceRank:
         while self.inflight_up < ctx.config.inflight_sends and self.ready_up:
             seg = self.ready_up.pop(0)
             self.inflight_up += 1
+            self._check_window()
             req = ctx.isend(
                 self.local, self.parent, ctx.seg_tag(seg), self.sizes[seg], self.acc[seg]
             )
             req.add_callback(lambda r: self._on_send_done())
 
+    def _check_window(self) -> None:
+        sanitizer = self.ctx.world.sanitizer
+        if sanitizer is not None:
+            sanitizer.window(
+                self.local, self.parent, self.inflight_up,
+                self.ctx.config.inflight_sends,
+            )
+
     def _on_send_done(self) -> None:
         self.inflight_up -= 1
         self.sends_done += 1
+        self._check_window()
         self._try_send_up()
         self._maybe_finish()
 

@@ -136,9 +136,20 @@ class CollectiveContext:
             return None
         return self.op(np.asarray(acc), np.asarray(operand))
 
-    def charge_reduce(self, local: int, nbytes: int, fn: Optional[Callable] = None, *args) -> None:
-        """Charge the arithmetic cost of reducing one segment."""
-        self.rt(local).reduce_local(nbytes, fn, *args, on_gpu=self.reduce_on_gpu)
+    def charge_reduce(
+        self,
+        local: int,
+        nbytes: int,
+        fn: Optional[Callable] = None,
+        *args,
+        tag: Optional[int] = None,
+    ) -> None:
+        """Charge the arithmetic cost of reducing one segment.
+
+        ``tag`` labels the reduced segment for the dependency analyzer; it
+        has no runtime effect.
+        """
+        self.rt(local).reduce_local(nbytes, fn, *args, on_gpu=self.reduce_on_gpu, tag=tag)
 
 
 def new_handle(ctx: CollectiveContext, name: str) -> CollectiveHandle:

@@ -299,9 +299,13 @@ def barrier_adapt(
                 release()
                 return
             ctx.isend(local, parent, base_tag + local, 0)
+
+        if parent is not None:
+            # Pre-post the release recv at entry (Section 2.2.1): it can
+            # never arrive unexpected, and the release phase carries no
+            # synchronization dependency on the gather phase.
             down = ctx.irecv(local, parent, base_tag + P + local, 0)
             down.add_callback(lambda r: release())
-
         for child in children:
             req = ctx.irecv(local, child, base_tag + child, 0)
 

@@ -25,13 +25,11 @@ large factor over ADAPT.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.harness.experiments.common import SCALES, ExperimentResult
 from repro.harness.runner import run_collective
 from repro.harness.report import slowdown_percent
 from repro.machine import cori, stampede2
-from repro.noise.injector import NoiseInjector
 
 MSG = 4 << 20
 NOISE_LEVELS = (5.0, 10.0)

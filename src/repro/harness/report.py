@@ -12,6 +12,15 @@ def slowdown_percent(noisy: float, baseline: float) -> float:
     return 100.0 * (noisy - baseline) / baseline
 
 
+def format_findings(rows: Sequence[Sequence[object]]) -> str:
+    """Render lint findings (severity, rule, rank, peer, tag, message)."""
+    return format_table(
+        "Findings",
+        ["severity", "rule", "rank", "peer", "tag", "message"],
+        rows,
+    )
+
+
 def format_table(
     title: str,
     headers: Sequence[str],

@@ -26,7 +26,7 @@ same simulated substrate (DESIGN.md's substitution table). The models are:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from repro.collectives import (
     bcast_adapt,
@@ -43,12 +43,11 @@ from repro.collectives import (
 )
 from repro.collectives.hierarchical import HierarchicalBcast, HierarchicalReduce
 from repro.collectives.base import CollectiveContext, CollectiveHandle
-from repro.config import CollectiveConfig
 from repro.machine.spec import CommLevel
 from repro.mpi.communicator import Communicator
 from repro.mpi.ops import SUM, ReduceOp
 from repro.trees.base import Tree
-from repro.trees.builders import binomial_tree, chain_tree
+from repro.trees.builders import binomial_tree
 from repro.trees.topo_tree import topology_aware_tree
 
 

@@ -66,7 +66,14 @@ class Sleep:
 
 
 class ProcletDriver:
-    """Runs one generator to completion on a rank's CPU."""
+    """Runs one generator to completion on a rank's CPU.
+
+    When a dependency recorder observes the world, the driver reports every
+    wait it blocks on and resumes from, so the analyzer can attribute the
+    operations posted after each resumption to the requests that gated them
+    (the blocking-order and Waitall-barrier edges of paper Section 2.1) and
+    detect proclets still blocked at quiescence (deadlock linting).
+    """
 
     def __init__(
         self,
@@ -80,19 +87,41 @@ class ProcletDriver:
         self.done = False
         self.finish_time: Optional[float] = None
         self.result: Any = None
+        # (via, gate items) of the await the next resumption returns from.
+        self._gate: Optional[tuple[str, tuple]] = None
         # Kick off on the CPU (a noisy rank starts its program late).
         runtime.cpu.when_available(self._step, None)
 
+    def _observer(self):
+        return getattr(getattr(self.runtime, "world", None), "observer", None)
+
+    @staticmethod
+    def _internal(fn):
+        # Resumption callbacks are driver plumbing, not user callbacks: the
+        # recorder must not wrap them in a callback context of their own.
+        fn._depgraph_internal = True
+        return fn
+
     def _dispatch(self, awaited: Any) -> None:
+        obs = self._observer()
         if isinstance(awaited, Request):
-            awaited.add_callback(lambda req: self._step(req))
+            self._gate = ("wait", (awaited,))
+            if obs is not None:
+                obs.proclet_waiting(self, self.runtime.rank, "wait", (awaited,))
+            awaited.add_callback(self._internal(lambda req: self._step(req)))
         elif isinstance(awaited, WaitAll):
             self._wait_all(awaited.requests)
         elif isinstance(awaited, WaitAny):
             self._wait_any(awaited.requests)
         elif isinstance(awaited, Compute):
+            if obs is not None:
+                nid = obs.compute_posted(self.runtime.rank, self._gate)
+                self._gate = ("compute", (nid,))
+            else:
+                self._gate = None
             self.runtime.cpu.execute(awaited.seconds, self._step, None)
         elif isinstance(awaited, Sleep):
+            self._gate = ("sleep", ())
             self.runtime.engine.call_after(awaited.seconds, self._step, None)
         elif isinstance(awaited, (list, tuple)):
             self._wait_all(tuple(awaited))
@@ -100,11 +129,15 @@ class ProcletDriver:
             raise TypeError(f"proclet yielded unsupported awaitable {awaited!r}")
 
     def _wait_all(self, requests: tuple[Request, ...]) -> None:
+        self._gate = ("waitall", requests)
         pending = [r for r in requests if not r.completed]
         if not pending:
             # Still resume via the CPU: Waitall is a call the process makes.
             self.runtime.cpu.when_available(self._step, None)
             return
+        obs = self._observer()
+        if obs is not None:
+            obs.proclet_waiting(self, self.runtime.rank, "waitall", requests)
         remaining = len(pending)
 
         def one_done(_req: Request) -> None:
@@ -113,14 +146,19 @@ class ProcletDriver:
             if remaining == 0:
                 self._step(None)
 
+        self._internal(one_done)
         for r in pending:
             r.add_callback(one_done)
 
     def _wait_any(self, requests: tuple[Request, ...]) -> None:
+        self._gate = ("waitany", requests)
         for i, r in enumerate(requests):
             if r.completed:
                 self.runtime.cpu.when_available(self._step, (i, r))
                 return
+        obs = self._observer()
+        if obs is not None:
+            obs.proclet_waiting(self, self.runtime.rank, "waitany", requests)
         fired = False
 
         def first_done(i: int, req: Request) -> None:
@@ -131,16 +169,34 @@ class ProcletDriver:
             self._step((i, req))
 
         for i, r in enumerate(requests):
-            r.add_callback(lambda req, i=i: first_done(i, req))
+            r.add_callback(self._internal(lambda req, i=i: first_done(i, req)))
 
     def _step(self, value: Any) -> None:
         """Resume the generator with ``value`` (runs in CPU/event context)."""
+        obs = self._observer()
+        token = None
+        if obs is not None:
+            obs.proclet_not_waiting(self)
+            if self._gate is not None:
+                via, items = self._gate
+                if via == "waitany" and isinstance(value, tuple):
+                    items = (value[1],)
+                token = obs.proclet_resume(self.runtime.rank, via, items)
+        self._gate = None
         try:
             awaited = self.gen.send(value)
         except StopIteration as stop:
+            if token is not None:
+                obs.proclet_pop(token)
             self._finish(stop.value)
             return
-        self._dispatch(awaited)
+        # Dispatch inside the resumption context: a yielded Compute is gated
+        # by the same requests that gated this resumption.
+        try:
+            self._dispatch(awaited)
+        finally:
+            if token is not None:
+                obs.proclet_pop(token)
 
     def _finish(self, result: Any) -> None:
         self.done = True

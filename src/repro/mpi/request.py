@@ -46,9 +46,24 @@ class Request:
         immediately (still via the CPU, so noise delays it).
         """
         if self.completed:
-            self._runtime.cpu.when_available(fn, self)
+            self._dispatch_callback(fn)
         else:
             self._callbacks.append(fn)
+
+    def _dispatch_callback(self, fn: Callable[["Request"], None]) -> None:
+        """Schedule one completion callback on the owning rank's CPU.
+
+        When a dependency recorder observes the world, user callbacks run
+        inside a recorded context so operations they post are attributed to
+        this request; proclet-internal resumption callbacks are marked
+        ``_depgraph_internal`` and stay on the plain path (the proclet
+        driver records its own wait context).
+        """
+        observer = getattr(getattr(self._runtime, "world", None), "observer", None)
+        if observer is not None and not getattr(fn, "_depgraph_internal", False):
+            self._runtime.cpu.when_available(observer.run_callback, self, fn)
+        else:
+            self._runtime.cpu.when_available(fn, self)
 
     def _complete(self, now: float, data: Any = None) -> None:
         """Mark complete and dispatch callbacks (runtime-internal)."""
@@ -58,9 +73,15 @@ class Request:
         self.completion_time = now
         if data is not None:
             self.data = data
+        world = getattr(self._runtime, "world", None)
+        if world is not None:
+            if world.observer is not None:
+                world.observer.op_completed(self)
+            if world.sanitizer is not None:
+                world.sanitizer.on_complete(self)
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
-            self._runtime.cpu.when_available(fn, self)
+            self._dispatch_callback(fn)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.completed else "pending"

@@ -80,6 +80,8 @@ class RankRuntime:
         return self.world.spec.cpu_overhead
 
     def _trace(self, kind: str, detail: str = "") -> None:
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_trace(self.engine.now, self.rank)
         self.world.trace.record(self.engine.now, self.rank, kind, detail)
 
     # -- non-blocking point-to-point -------------------------------------------
@@ -97,6 +99,10 @@ class RankRuntime:
         if dst == self.rank:
             raise ValueError(f"rank {self.rank}: self-send not supported; use a copy")
         req = Request(self, "send", self.rank, dst, tag, nbytes)
+        if self.world.observer is not None:
+            self.world.observer.op_posted(req)
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_post(req)
         self.sends_posted += 1
         self.bytes_sent += nbytes
         payload = _copy_payload(data) if self.world.carry_data else None
@@ -121,6 +127,10 @@ class RankRuntime:
         if src == self.rank:
             raise ValueError(f"rank {self.rank}: self-recv not supported")
         req = Request(self, "recv", self.rank, src, tag, nbytes)
+        if self.world.observer is not None:
+            self.world.observer.op_posted(req)
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_post(req)
         self.recvs_posted += 1
         self._trace("irecv", f"<- {src} tag={tag} {nbytes}B")
         self.cpu.execute(self._o, self._post_recv, req)
@@ -271,13 +281,20 @@ class RankRuntime:
         fn: Optional[Callable] = None,
         *args,
         on_gpu: bool = False,
+        tag: Optional[int] = None,
     ) -> None:
         """Charge one reduction pass over ``nbytes`` of operands.
 
         ``on_gpu=True`` offloads to the least-loaded simulated CUDA stream
         (Section 4.2): the rank's CPU only pays the kernel-launch overhead
         and the arithmetic overlaps with communication.
+
+        ``tag`` identifies the segment being reduced for the dependency
+        analyzer; it has no runtime effect.
         """
+        if self.world.observer is not None:
+            fn = self.world.observer.wrap_reduce(self.rank, nbytes, tag, fn, args)
+            args = ()
         if on_gpu:
             gpu = self.world.spec.node.gpu
             if gpu is None:
@@ -308,6 +325,7 @@ class MpiWorld:
         carry_data: bool = False,
         trace: bool = False,
         gpudirect: bool = True,
+        sanitize: bool = False,
     ):
         self.spec = spec
         self.nranks = nranks
@@ -318,7 +336,18 @@ class MpiWorld:
         self.topology = Topology(spec, nranks, gpu_bound=gpu_bound)
         self.fabric = Fabric(self.engine, spec, self.topology, gpudirect=gpudirect)
         self.trace = TraceRecorder(enabled=trace)
+        # Analysis hooks: a dependency-graph recorder may attach as observer
+        # (repro.analysis.depgraph); sanitize=True arms runtime invariant
+        # checks (repro.analysis.sanitizer). Both default off and cost one
+        # attribute test per hot-path event when off.
+        self.observer = None
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.sanitizer import Sanitizer  # deferred: avoids cycle
+
+            self.sanitizer = Sanitizer(self)
         self.ranks = [RankRuntime(self, r) for r in range(nranks)]
+        self.fabric.network.sanitizer = self.sanitizer
         self._next_tag = 0
 
     def allocate_tags(self, count: int) -> int:
@@ -329,7 +358,10 @@ class MpiWorld:
 
     def run(self, until: Optional[float] = None) -> float:
         """Drive the simulation until quiescence. Returns final time."""
-        return self.engine.run(until=until)
+        t = self.engine.run(until=until)
+        if self.sanitizer is not None and until is None:
+            self.sanitizer.check_drained()
+        return t
 
     def inject_noise(self, rank: int, duration: float) -> None:
         """Inject one noise interval into ``rank``'s CPU, starting now."""

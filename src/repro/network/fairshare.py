@@ -88,6 +88,9 @@ class FairShareNetwork:
         self._next_fid = 0
         self.active: set[Flow] = set()
         self.flows_completed = 0
+        # Optional invariant checker (repro.analysis.sanitizer); the owning
+        # MpiWorld installs it when constructed with sanitize=True.
+        self.sanitizer = None
 
     # -- public API --------------------------------------------------------
 
@@ -199,6 +202,8 @@ class FairShareNetwork:
                 seed.completion = self.engine.call_after(
                     seed.remaining / rate, self._finish, seed
                 )
+            if self.sanitizer is not None:
+                self.sanitizer.check_rates((seed,), seed.path)
             return
         comp_flows, comp_links = self._component(seed)
         if not comp_flows:
@@ -228,5 +233,7 @@ class FairShareNetwork:
                 eta = f.remaining / new_rate
                 f.completion = self.engine.call_after(eta, self._finish, f)
             # rate == 0 flows stay parked until a rebalance frees capacity.
+        if self.sanitizer is not None:
+            self.sanitizer.check_rates(comp_flows, comp_links)
         for f in finished:
             self._finish(f)

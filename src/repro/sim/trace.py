@@ -5,12 +5,22 @@ the MPI runtime when enabled. Tests use it to assert *causal structure* — e.g.
 that under a Waitall implementation a delayed child postpones traffic to its
 siblings, while under ADAPT it does not (the paper's Figure 2 analysis) — and
 the examples use it to print per-rank timelines.
+
+Events are indexed by kind as they arrive, so :meth:`TraceRecorder.of_kind`
+and :meth:`TraceRecorder.first` cost O(matches) rather than a scan of the
+whole log — large sweeps record hundreds of thousands of events and the
+structural assertions only ever look at one kind at a time. A ``max_events``
+cap (default one million) guards unbounded growth: once hit, further events
+are counted in :attr:`TraceRecorder.dropped` instead of stored.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterator, Optional
+
+# Default storage cap; a run that exceeds it keeps counting but stops storing.
+DEFAULT_MAX_EVENTS = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -27,25 +37,41 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only event log, cheap to disable."""
+    """Append-only event log with a per-kind index, cheap to disable."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
         self.enabled = enabled
+        self.max_events = max_events
         self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._by_kind: dict[str, list[TraceEvent]] = {}
 
     def record(self, time: float, rank: int, kind: str, detail: str = "") -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(time, rank, kind, detail))
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        event = TraceEvent(time, rank, kind, detail)
+        self.events.append(event)
+        self._by_kind.setdefault(kind, []).append(event)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the cap was hit and events were discarded."""
+        return self.dropped > 0
 
     def for_rank(self, rank: int) -> list[TraceEvent]:
         return [e for e in self.events if e.rank == rank]
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def first(self, kind: str, rank: Optional[int] = None) -> Optional[TraceEvent]:
-        for e in self.events:
-            if e.kind == kind and (rank is None or e.rank == rank):
+        for e in self._by_kind.get(kind, ()):
+            if rank is None or e.rank == rank:
                 return e
         return None
 

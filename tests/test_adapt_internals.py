@@ -2,7 +2,6 @@
 child independence) — the paper's Section 2.2 mechanics."""
 
 import numpy as np
-import pytest
 
 from repro.collectives import bcast_adapt, reduce_adapt
 from repro.collectives.base import CollectiveContext

@@ -1,0 +1,267 @@
+"""Analyzer certification and linting (paper Section 2, Figure 2).
+
+The core claims, checked mechanically on extracted dependency graphs:
+
+* every ADAPT schedule — bcast, reduce, and the Section 5 extensions —
+  carries **zero** synchronization-dependency edges: only data edges and
+  window flow-control remain;
+* blocking and Waitall schedules show the Figure 2 sibling-coupling edges
+  (a transfer to one child gating the transfer to another);
+* the linter flags deadlocks, tag mismatches, and ``M <= N`` windows.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DATA,
+    FLOW,
+    SYNC,
+    analyze_schedule,
+    certify,
+    deadlock_demo,
+    lint,
+    tag_mismatch_demo,
+)
+from repro.cli import main
+from repro.collectives import bcast_adapt, reduce_adapt
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig
+from repro.machine import small_test_machine
+from repro.mpi import SUM, Communicator, MpiWorld
+from repro.trees import binary_tree, binomial_tree, chain_tree
+
+# 4 segments on 64 KiB keeps recording runs fast but pipelined.
+CFG = CollectiveConfig(segment_size=16 * 1024)
+NBYTES = 64 * 1024
+
+ADAPT_SCHEDULES = [
+    "bcast-adapt",
+    "reduce-adapt",
+    "scatter-adapt",
+    "gather-adapt",
+    "allreduce-adapt",
+    "barrier-adapt",
+    "allgather-adapt",
+]
+
+
+class TestAdaptCertification:
+    @pytest.mark.parametrize("schedule", ADAPT_SCHEDULES)
+    @pytest.mark.parametrize("tree", ["binary", "binomial", "chain"])
+    def test_zero_sync_edges(self, schedule, tree):
+        graph = analyze_schedule(schedule, nranks=8, tree=tree, nbytes=NBYTES, config=CFG)
+        cert = certify(graph)
+        offending = [graph.describe_edge(e) for e in graph.sync_edges()]
+        assert cert.zero_sync, f"{schedule}/{tree}: {offending}"
+        assert "CERTIFIED" in cert.verdict()
+        assert not graph.sibling_coupling_edges()
+
+    @pytest.mark.parametrize("schedule", ADAPT_SCHEDULES)
+    def test_lints_clean(self, schedule):
+        report = lint(analyze_schedule(schedule, nranks=8, nbytes=NBYTES, config=CFG))
+        assert report.ok, [f.message for f in report.errors]
+
+    def test_nonzero_root_certifies_too(self):
+        graph = analyze_schedule(
+            "bcast-adapt", nranks=8, tree="binomial", nbytes=NBYTES, config=CFG, root=5
+        )
+        assert certify(graph).zero_sync
+
+    def test_adapt_still_moves_the_data(self):
+        # Zero sync must not come from a degenerate graph: the match edges
+        # (one per segment per tree edge) and window refills are all there.
+        graph = analyze_schedule("bcast-adapt", nranks=3, tree="binary",
+                                 nbytes=NBYTES, config=CFG)
+        match = [e for e in graph.data_edges() if e.via == "match"]
+        assert len(match) == 4 * 2  # 4 segments x 2 tree edges
+        assert len(graph.flow_edges()) == 6  # 2 leaves x 3 window refills
+
+
+class TestBaselineCoupling:
+    """The blocking/Waitall schedules must show what ADAPT removes."""
+
+    def test_blocking_bcast_sibling_chain(self):
+        # Root 0 with two leaf children, S=4 segments: the 2S sequential
+        # blocking sends form 2S-1 consecutive cross-child sync edges.
+        graph = analyze_schedule("bcast-blocking", nranks=3, tree="binary",
+                                 nbytes=NBYTES, config=CFG)
+        cert = certify(graph)
+        assert cert.sync_edges == 7
+        assert cert.sibling_coupling == 7
+        assert cert.sync_by_via == {"blocking-order": 7}
+        assert cert.data_edges == 8  # one match edge per segment per child
+        assert cert.flow_edges == 6  # leaf recv chains are flow, not sync
+        for e in graph.sibling_coupling_edges():
+            a, b = graph.nodes[e.src], graph.nodes[e.dst]
+            assert a.rank == b.rank == 0
+            assert {a.kind, b.kind} == {"send"}
+
+    def test_blocking_interior_couples_children(self):
+        graph = analyze_schedule("bcast-blocking", nranks=8, tree="binary",
+                                 nbytes=NBYTES, config=CFG)
+        ranks = {graph.nodes[e.src].rank for e in graph.sibling_coupling_edges()}
+        # Root and both interior ranks of the 8-rank binary tree couple
+        # their children; leaves cannot.
+        assert {0, 1, 2} <= ranks
+
+    def test_waitall_bcast_barrier_edges(self):
+        graph = analyze_schedule("bcast-nonblocking", nranks=3, tree="binary",
+                                 nbytes=NBYTES, config=CFG)
+        cert = certify(graph)
+        assert cert.sync_edges > 0
+        assert cert.sibling_coupling > 0
+        assert set(cert.sync_by_via) == {"waitall-barrier"}
+
+    def test_blocking_reduce_compute_order(self):
+        graph = analyze_schedule("reduce-blocking", nranks=3, tree="binary",
+                                 nbytes=NBYTES, config=CFG)
+        cert = certify(graph)
+        # The root alternates recv / reduce-compute / recv: each reduction
+        # gates the next child's recv — synchronization ADAPT doesn't have.
+        assert cert.sync_edges > 0
+        assert "compute-order" in cert.sync_by_via
+
+    @pytest.mark.parametrize("pair", [
+        ("bcast-blocking", "bcast-adapt"),
+        ("bcast-nonblocking", "bcast-adapt"),
+        ("reduce-blocking", "reduce-adapt"),
+        ("reduce-nonblocking", "reduce-adapt"),
+    ])
+    def test_adapt_strictly_less_coupled(self, pair):
+        baseline, adapt = pair
+        base = certify(analyze_schedule(baseline, nranks=8, nbytes=NBYTES, config=CFG))
+        evt = certify(analyze_schedule(adapt, nranks=8, nbytes=NBYTES, config=CFG))
+        assert base.sync_edges > 0
+        assert evt.sync_edges == 0
+
+
+class TestGraphStructure:
+    @pytest.mark.parametrize("schedule", ["bcast-blocking", "bcast-nonblocking",
+                                          "bcast-adapt", "reduce-adapt"])
+    def test_happens_before_is_a_dag(self, schedule):
+        graph = analyze_schedule(schedule, nranks=8, nbytes=NBYTES, config=CFG)
+        assert graph.has_cycle() is None
+
+    def test_edges_have_known_kinds(self):
+        graph = analyze_schedule("reduce-adapt", nranks=8, nbytes=NBYTES, config=CFG)
+        assert {e.kind for e in graph.dep_edges} <= {DATA, SYNC, FLOW}
+        assert all(e.src in graph.nodes and e.dst in graph.nodes
+                   for e in graph.dep_edges + graph.order_edges)
+
+    def test_meta_round_trips(self):
+        graph = analyze_schedule("bcast-adapt", nranks=6, tree="chain",
+                                 nbytes=NBYTES, config=CFG)
+        assert graph.meta["schedule"] == "bcast-adapt"
+        assert graph.meta["tree"] == "chain"
+        assert graph.meta["nranks"] == 6
+        assert graph.stats.nranks == 6
+
+
+class TestLinter:
+    def test_deadlock_cycle_detected(self):
+        graph = deadlock_demo(nranks=4)
+        report = lint(graph)
+        assert not report.ok
+        cycle = report.by_rule("deadlock-cycle")
+        assert len(cycle) == 1
+        assert "waits-for cycle" in cycle[0].message
+        assert cycle[0].path  # per-rank blocked descriptions
+        assert len(graph.blocked) == 4  # every rank stuck in its send
+
+    def test_deadlock_demo_all_sends_unmatched(self):
+        report = lint(deadlock_demo(nranks=2))
+        assert len(report.by_rule("unmatched-send")) == 2
+
+    def test_tag_mismatch_detected(self):
+        report = lint(tag_mismatch_demo())
+        rules = {f.rule for f in report.findings}
+        assert "tag-mismatch" in rules
+        f = report.by_rule("tag-mismatch")[0]
+        assert (f.rank, f.peer, f.tag) == (0, 1, 7)
+
+    def test_m_not_greater_than_n_flags_risk(self):
+        cfg = CollectiveConfig(segment_size=4 * 1024, posted_recvs=1, inflight_sends=3)
+        graph = analyze_schedule("bcast-adapt", nranks=4, tree="chain",
+                                 nbytes=32 * 1024, config=cfg)
+        report = lint(graph)
+        assert report.ok  # warnings, not errors: the schedule still completes
+        rules = {f.rule for f in report.findings}
+        assert "unexpected-risk" in rules       # static M <= N rule
+        assert "unexpected-messages" in rules   # ...and it actually happened
+        assert graph.stats.unexpected_eager > 0
+
+    def test_m_greater_than_n_is_quiet(self):
+        report = lint(analyze_schedule("bcast-adapt", nranks=4, tree="chain",
+                                       nbytes=32 * 1024, config=CFG))
+        assert not report.findings
+
+    def test_render_mentions_verdict(self):
+        report = lint(analyze_schedule("bcast-adapt", nranks=4, nbytes=NBYTES, config=CFG))
+        text = report.render()
+        assert "CERTIFIED: 0 synchronization dependencies" in text
+        report2 = lint(deadlock_demo(nranks=2))
+        text2 = report2.render()
+        assert "deadlock-cycle" in text2
+        # A broken schedule must never read as certified.
+        assert "NOT CERTIFIED" in text2
+        assert "CERTIFIED: 0 synchronization" not in text2
+
+
+class TestCli:
+    def test_lint_adapt_certifies(self, capsys):
+        assert main(["lint", "bcast-adapt", "--ranks", "6", "--tree", "binomial",
+                     "--nbytes", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED: 0 synchronization dependencies" in out
+
+    def test_lint_blocking_shows_coupling(self, capsys):
+        assert main(["lint", "bcast-blocking", "--ranks", "6",
+                     "--nbytes", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "sibling-coupling" in out
+        assert "blocking-order" in out
+
+    def test_lint_deadlock_exits_nonzero(self, capsys):
+        assert main(["lint", "deadlock-demo"]) == 1
+        assert "deadlock-cycle" in capsys.readouterr().out
+
+    def test_lint_window_override(self, capsys):
+        assert main(["lint", "bcast-adapt", "--ranks", "4", "--tree", "chain",
+                     "--nbytes", "32768", "--segment-size", "4096",
+                     "--posted-recvs", "1", "--inflight-sends", "3"]) == 0
+        assert "unexpected-risk" in capsys.readouterr().out
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    algo=st.sampled_from([bcast_adapt, reduce_adapt]),
+    tree_builder=st.sampled_from([binary_tree, binomial_tree, chain_tree]),
+    nranks=st.integers(min_value=2, max_value=9),
+    segments=st.integers(min_value=1, max_value=5),
+)
+def test_sanitized_adapt_runs_clean(algo, tree_builder, nranks, segments):
+    """Property: ADAPT collectives drain under the runtime sanitizer for any
+    small tree shape, and their recorded graphs always certify at zero sync."""
+    spec = small_test_machine(nodes=max(1, -(-nranks // 8)))
+    world = MpiWorld(spec, nranks, sanitize=True)
+    comm = Communicator(world)
+    cfg = CollectiveConfig(segment_size=8 * 1024)
+    nbytes = segments * cfg.segment_size
+    tree = tree_builder(nranks)
+    kw = {"op": SUM} if algo is reduce_adapt else {}
+    ctx = CollectiveContext(comm, 0, nbytes, cfg, tree=tree, **kw)
+    handle = algo(ctx)
+    world.run()  # raises SanitizerError on any invariant violation
+    assert handle.done
+    assert world.sanitizer.checks_run > 0
+
+    name = "bcast-adapt" if algo is bcast_adapt else "reduce-adapt"
+    tree_name = {binary_tree: "binary", binomial_tree: "binomial",
+                 chain_tree: "chain"}[tree_builder]
+    graph = analyze_schedule(name, nranks=nranks, tree=tree_name,
+                             nbytes=nbytes, config=cfg)
+    report = lint(graph)
+    assert report.ok
+    assert certify(graph).zero_sync

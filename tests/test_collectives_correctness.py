@@ -26,7 +26,7 @@ from repro.collectives import (
 )
 from repro.collectives.base import CollectiveContext
 from repro.config import CollectiveConfig
-from repro.machine import Topology, small_test_machine
+from repro.machine import small_test_machine
 from repro.mpi import SUM, MAX, Communicator, MpiWorld
 from repro.trees import binomial_tree, chain_tree, topology_aware_tree
 
@@ -38,6 +38,10 @@ SMALL_CONFIG = CollectiveConfig(segment_size=4 * 1024, inflight_sends=2, posted_
 
 def make_world(nranks=24, **kw):
     spec = small_test_machine()  # 3 nodes x 2 sockets x 4 cores = 24 slots
+    # Run the whole correctness suite under the runtime sanitizer: every
+    # request must complete, matchers must drain, windows must stay in
+    # bounds, fair-share must conserve capacity.
+    kw.setdefault("sanitize", True)
     return MpiWorld(spec, nranks, carry_data=True, **kw)
 
 

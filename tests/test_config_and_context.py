@@ -8,7 +8,6 @@ from repro.config import CollectiveConfig
 from repro.machine import psg_gpu, small_test_machine
 from repro.mpi import SUM, Communicator, MpiWorld
 from repro.network import MemSpace
-from repro.trees import chain_tree
 
 
 def make_ctx(**kw):

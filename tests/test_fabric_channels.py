@@ -4,7 +4,7 @@ fabric (the BTL-queue model added during calibration — DESIGN.md S4)."""
 import pytest
 
 from repro.machine import cori, small_test_machine, Topology
-from repro.network import Fabric, MemSpace
+from repro.network import Fabric
 from repro.sim import Engine
 
 

@@ -1,6 +1,5 @@
 """Property-based tests on the max-min fair allocator and flow dynamics."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

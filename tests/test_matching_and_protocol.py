@@ -1,8 +1,6 @@
 """Unit tests for message matching and the M>N unexpected-message story."""
 
-from collections import deque
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ import pytest
 from repro.config import RuntimeConfig
 from repro.machine import small_test_machine
 from repro.mpi import Compute, MpiWorld, ProcletDriver, Sleep, WaitAll, WaitAny
-from repro.network import MemSpace
 
 
 def make_world(nranks=8, carry_data=True, trace=False, **cfg):

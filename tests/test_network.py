@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import CommLevel, MachineSpec, Topology, small_test_machine, psg_gpu
+from repro.machine import CommLevel, Topology, small_test_machine, psg_gpu
 from repro.network import Fabric, FairShareNetwork, Flow, Link, MemSpace
 from repro.network.fairshare import maxmin_rates
 from repro.sim import Engine

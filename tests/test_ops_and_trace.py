@@ -78,6 +78,28 @@ class TestTraceRecorder:
         t.record(1e-6, 3, "isend", "-> 4")
         assert "rank    3" in str(t.events[0])
 
+    def test_kind_index_matches_scan(self):
+        t = TraceRecorder()
+        for i in range(100):
+            t.record(float(i), i % 3, "send" if i % 2 else "recv", str(i))
+        assert t.of_kind("send") == [e for e in t.events if e.kind == "send"]
+        assert t.first("recv", rank=2) == next(
+            e for e in t.events if e.kind == "recv" and e.rank == 2
+        )
+
+    def test_max_events_cap_counts_drops(self):
+        t = TraceRecorder(max_events=3)
+        for i in range(5):
+            t.record(float(i), 0, "send")
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert t.truncated
+        assert len(t.of_kind("send")) == 3
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
 
 class TestGpuStreams:
     def test_streams_round_robin_to_least_loaded(self):

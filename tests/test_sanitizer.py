@@ -1,0 +1,138 @@
+"""Unit and integration coverage for the runtime sanitizer."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import Sanitizer, SanitizerError
+from repro.collectives import bcast_adapt
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig
+from repro.machine import small_test_machine
+from repro.mpi import Communicator, MpiWorld
+from repro.trees import binary_tree
+
+
+def make_world(nranks=8, **kw):
+    nodes = max(1, -(-nranks // 8))
+    return MpiWorld(small_test_machine(nodes=nodes), nranks, sanitize=True, **kw)
+
+
+def fake_sanitizer():
+    """A sanitizer detached from any world (unit-testing the pure checks)."""
+    world = SimpleNamespace(engine=SimpleNamespace(now=0.0), ranks=[])
+    return Sanitizer(world)
+
+
+class TestWindowChecks:
+    def test_in_bounds_passes(self):
+        s = fake_sanitizer()
+        for v in range(4):
+            s.window(0, 1, v, cap=3)
+
+    def test_negative_raises(self):
+        with pytest.raises(SanitizerError, match="negative"):
+            fake_sanitizer().window(2, 5, -1, cap=3)
+
+    def test_over_cap_raises(self):
+        with pytest.raises(SanitizerError, match="exceeds N"):
+            fake_sanitizer().window(2, 5, 4, cap=3)
+
+
+class TestRateChecks:
+    @staticmethod
+    def flow(fid, rate, cap, done=False):
+        return SimpleNamespace(fid=fid, rate=rate, rate_cap=cap, done=done)
+
+    @staticmethod
+    def link(name, capacity, flows):
+        return SimpleNamespace(name=name, capacity=capacity, flows=flows)
+
+    def test_conserving_allocation_passes(self):
+        f1, f2 = self.flow(1, 4.0, 10.0), self.flow(2, 6.0, 10.0)
+        fake_sanitizer().check_rates([f1, f2], [self.link("l", 10.0, [f1, f2])])
+
+    def test_overcommitted_link_raises(self):
+        f1, f2 = self.flow(1, 7.0, 10.0), self.flow(2, 6.0, 10.0)
+        with pytest.raises(SanitizerError, match="exceeds\\s+capacity"):
+            fake_sanitizer().check_rates([f1, f2], [self.link("l", 10.0, [f1, f2])])
+
+    def test_rate_above_flow_cap_raises(self):
+        f = self.flow(1, 11.0, 10.0)
+        with pytest.raises(SanitizerError, match="exceeds its cap"):
+            fake_sanitizer().check_rates([f], [])
+
+    def test_negative_rate_raises(self):
+        f = self.flow(1, -0.5, 10.0)
+        with pytest.raises(SanitizerError, match="negative rate"):
+            fake_sanitizer().check_rates([f], [])
+
+    def test_done_flows_ignored(self):
+        stale = self.flow(1, 999.0, 10.0, done=True)
+        live = self.flow(2, 5.0, 10.0)
+        fake_sanitizer().check_rates(
+            [stale, live], [self.link("l", 10.0, [stale, live])]
+        )
+
+
+class TestTraceMonotonicity:
+    def test_forward_time_passes(self):
+        s = fake_sanitizer()
+        s.on_trace(1.0, 0)
+        s.on_trace(1.0, 0)
+        s.on_trace(2.0, 0)
+        s.on_trace(0.5, 1)  # other ranks are independent clocks
+
+    def test_backwards_time_raises(self):
+        s = fake_sanitizer()
+        s.on_trace(2.0, 0)
+        with pytest.raises(SanitizerError, match="backwards"):
+            s.on_trace(1.0, 0)
+
+
+class TestRequestLifecycle:
+    def test_double_post_raises(self):
+        s = fake_sanitizer()
+        req = object()
+        s.on_post(req)
+        with pytest.raises(SanitizerError, match="posted twice"):
+            s.on_post(req)
+
+    def test_unknown_completion_raises(self):
+        with pytest.raises(SanitizerError, match="never posted"):
+            fake_sanitizer().on_complete(object())
+
+    def test_drain_with_inflight_raises(self):
+        s = fake_sanitizer()
+        s.on_post(object())
+        with pytest.raises(SanitizerError, match="in flight"):
+            s.check_drained()
+
+
+class TestSanitizedWorld:
+    def test_clean_collective_passes_all_checks(self):
+        world = make_world(trace=True)
+        comm = Communicator(world)
+        cfg = CollectiveConfig(segment_size=8 * 1024)
+        ctx = CollectiveContext(comm, 0, 64 * 1024, cfg, tree=binary_tree(8))
+        handle = bcast_adapt(ctx)
+        world.run()
+        assert handle.done
+        # Posting, completion, window, rate, trace and drain checks all ran.
+        assert world.sanitizer.checks_run > 100
+
+    def test_stranded_recv_fails_drain(self):
+        world = make_world(nranks=2)
+        world.ranks[0].irecv(1, tag=9, nbytes=1024)  # no send will ever come
+        with pytest.raises(SanitizerError, match="still in flight"):
+            world.run()
+
+    def test_run_until_skips_drain_check(self):
+        world = make_world(nranks=2)
+        world.ranks[0].irecv(1, tag=9, nbytes=1024)
+        world.run(until=1.0)  # bounded run: world may legitimately be mid-flight
+
+    def test_default_world_has_no_sanitizer(self):
+        world = MpiWorld(small_test_machine(), 8)
+        assert world.sanitizer is None
+        assert world.fabric.network.sanitizer is None
