@@ -5,10 +5,16 @@ counterpart of the static linter: instead of proving properties of an
 extracted graph, it checks invariants *during* a real (timed, noisy, GPU)
 simulation and raises :class:`SanitizerError` at the first violation:
 
-* every request posted is eventually completed, and completion time never
-  precedes posting time;
+* every request posted is eventually completed (or cancelled by the fault
+  layer), and completion time never precedes posting time;
 * at world drain (a ``run()`` to quiescence) no request is in flight and no
-  matcher queue holds stranded posted recvs or unexpected payloads;
+  matcher queue holds stranded posted recvs or unexpected payloads — except
+  those a fail-stopped rank explains: requests owned by or targeting a dead
+  rank, and arrivals a dead rank sent before it crashed;
+* under the reliable transport, messages are conserved: every wire attempt
+  (plus every fabric-injected duplicate) is accounted for as a fresh
+  delivery, a suppressed duplicate, an injected drop, or a loss at a dead
+  rank — and no live rank leaks transport retry state;
 * ADAPT in-flight send windows stay within ``[0, N]`` (a negative or
   over-cap window means the refill accounting broke);
 * max-min fair-share allocations conserve link capacity: the flows crossing
@@ -40,6 +46,7 @@ class Sanitizer:
         self._pending: dict[Any, float] = {}  # request -> post time
         self._last_trace: dict[int, float] = {}
         self.checks_run = 0
+        self.cancellations = 0
 
     # -- request lifecycle -------------------------------------------------------
 
@@ -60,25 +67,88 @@ class Sanitizer:
                 f"request completed at t={now} before its post at t={posted}: {req!r}"
             )
 
-    def check_drained(self) -> None:
-        """World ran to quiescence: nothing may remain in flight."""
+    def on_cancel(self, req: Any) -> None:
+        """The fault layer abandoned a request; it is accounted for."""
         self.checks_run += 1
-        if self._pending:
-            sample = sorted(
-                (repr(r) for r in self._pending), key=str
-            )[:5]
+        self.cancellations += 1
+        self._pending.pop(req, None)
+
+    def check_drained(self) -> None:
+        """World ran to quiescence: nothing may remain in flight.
+
+        A fail-stop excuses exactly the wreckage it explains: requests owned
+        by or addressed to a dead rank, posted recvs waiting on a dead peer,
+        and arrivals the dead rank sent before crashing. Anything else left
+        over is still a leak.
+        """
+        self.checks_run += 1
+        failed = getattr(self.world, "failed_ranks", None) or set()
+        leaked = [
+            req
+            for req in self._pending
+            if getattr(req, "rank", None) not in failed
+            and getattr(req, "peer", None) not in failed
+        ]
+        if leaked:
+            sample = sorted((repr(r) for r in leaked), key=str)[:5]
             raise SanitizerError(
-                f"{len(self._pending)} request(s) still in flight at world "
+                f"{len(leaked)} request(s) still in flight at world "
                 f"drain, e.g. {sample}"
             )
         for rt in self.world.ranks:
-            posted = rt.matcher.pending_posted()
-            inbound = rt.matcher.pending_inbound()
-            if posted or inbound:
+            if rt.rank in failed:
+                continue  # a dead rank's matcher froze mid-operation
+            stranded_posted = [
+                req
+                for queue in rt.matcher.posted.values()
+                for req in queue
+                if req.peer not in failed
+            ]
+            stranded_inbound = [
+                msg
+                for queue in rt.matcher.inbound.values()
+                for msg in queue
+                if msg.src not in failed
+            ]
+            if stranded_posted or stranded_inbound:
                 raise SanitizerError(
                     f"rank {rt.rank} matcher not empty at drain: "
-                    f"{posted} posted recv(s), {inbound} stranded arrival(s)"
+                    f"{len(stranded_posted)} posted recv(s), "
+                    f"{len(stranded_inbound)} stranded arrival(s)"
                 )
+        if getattr(self.world.config, "reliable", False):
+            self._check_transport_conservation(failed)
+
+    def _check_transport_conservation(self, failed: set) -> None:
+        """Reliable transport: wire attempts must all be accounted for."""
+        self.checks_run += 1
+        world = self.world
+        for rt in world.ranks:
+            if rt.rank not in failed and rt._reliable_pending:
+                raise SanitizerError(
+                    f"rank {rt.rank} leaked {len(rt._reliable_pending)} "
+                    f"reliable-transport send state(s) at drain"
+                )
+        stats = world.transport_stats()
+        faults = getattr(world.fabric, "faults", None)
+        injector = faults._injector if faults is not None else None
+        dropped = injector.dropped if injector is not None else 0
+        duplicated = injector.duplicated if injector is not None else 0
+        sent = stats["transmissions"] + duplicated
+        accounted = (
+            stats["fresh_deliveries"]
+            + stats["duplicates_suppressed"]
+            + stats["msgs_lost_dead"]
+            + dropped
+        )
+        if sent != accounted:
+            raise SanitizerError(
+                "reliable transport conservation violated at drain: "
+                f"{stats['transmissions']} transmission(s) + {duplicated} "
+                f"injected duplicate(s) != {stats['fresh_deliveries']} fresh "
+                f"+ {stats['duplicates_suppressed']} suppressed "
+                f"+ {dropped} dropped + {stats['msgs_lost_dead']} lost-at-dead"
+            )
 
     # -- collective windows ------------------------------------------------------
 

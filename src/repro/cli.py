@@ -23,6 +23,7 @@ from repro.harness.experiments import (
     fig09_msgsize,
     fig10_scaling,
     fig11_gpu,
+    figx_faults,
     table1_asp,
 )
 from repro.harness.runner import run_collective
@@ -78,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     pt1 = sub.add_parser("table1", help="Table 1: ASP application")
     _add_scale(pt1)
 
+    pfx = sub.add_parser(
+        "figx", help="Figure X (ours): collectives on a faulty fabric"
+    )
+    _add_scale(pfx)
+
     prun = sub.add_parser("run", help="one ad-hoc collective measurement")
     prun.add_argument("--library", default="OMPI-adapt")
     prun.add_argument("--op", dest="operation", default="bcast",
@@ -91,6 +97,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="noise duty-cycle percent on one mid-tree rank")
     prun.add_argument("--gpu", action="store_true")
     prun.add_argument("--seed", type=int, default=0)
+
+    pchaos = sub.add_parser(
+        "chaos",
+        help="fault-injection demo: lossy fabric, fail-stop, degraded mode",
+        description="Run one collective over a faulty fabric (DESIGN.md "
+        "S17): seeded per-link message drops/duplicates with the reliable "
+        "ack/retransmit transport, and/or a mid-collective fail-stop of one "
+        "rank. By default the same fault plan is also applied to the "
+        "Waitall-style comparator, showing ADAPT completing (degraded) "
+        "where the blocking schedule hangs.",
+    )
+    pchaos.add_argument("operation", choices=["bcast", "reduce"])
+    pchaos.add_argument("--library", default="OMPI-adapt")
+    pchaos.add_argument("--compare", default="OMPI-default-topo",
+                        help="second library run under the same plan "
+                        "(empty string to skip)")
+    pchaos.add_argument("--machine", default="cori", choices=sorted(_MACHINES))
+    pchaos.add_argument("--nodes", type=int, default=None)
+    pchaos.add_argument("--nranks", type=int, default=None)
+    pchaos.add_argument("--nbytes", type=int, default=512 << 10)
+    pchaos.add_argument("--iterations", type=int, default=4)
+    pchaos.add_argument("--drop", type=float, default=0.0,
+                        help="per-message drop probability on every link")
+    pchaos.add_argument("--duplicate", type=float, default=0.0,
+                        help="per-message duplication probability")
+    pchaos.add_argument("--kill-rank", type=int, default=None,
+                        help="fail-stop this rank mid-collective")
+    pchaos.add_argument("--kill-at", type=float, default=None,
+                        help="kill time in seconds (default: 30%% of the "
+                        "fault-free run)")
+    pchaos.add_argument("--seed", type=int, default=0)
 
     plint = sub.add_parser(
         "lint",
@@ -146,6 +183,8 @@ def _cmd_experiment(args) -> str:
         return fig11_gpu.run_scaling(args.scale).table()
     if args.command == "table1":
         return table1_asp.run(args.scale).table()
+    if args.command == "figx":
+        return figx_faults.run(args.scale).table()
     raise AssertionError  # pragma: no cover
 
 
@@ -159,6 +198,66 @@ def _cmd_run(args) -> str:
         noise_ranks=noisy, gpu=args.gpu, seed=args.seed,
     )
     return str(result)
+
+
+def _cmd_chaos(args) -> str:
+    from repro.faults import FaultPlan, KillSpec, LossSpec
+
+    spec = _machine(args.machine, args.nodes)
+    nranks = args.nranks or spec.total_cores
+    lossy = args.drop > 0 or args.duplicate > 0
+    if not lossy and args.kill_rank is None:
+        raise SystemExit("chaos: nothing to inject; pass --drop, --duplicate "
+                         "and/or --kill-rank")
+    lines = []
+
+    def fault_free(lib: str):
+        return run_collective(
+            spec, nranks, lib, args.operation, args.nbytes,
+            iterations=args.iterations, seed=args.seed,
+        )
+
+    base = fault_free(args.library)
+    lines.append(f"fault-free  {base}")
+    kill_at = None
+    if args.kill_rank is not None:
+        kill_at = args.kill_at if args.kill_at is not None else (
+            0.3 * base.mean_time * args.iterations
+        )
+    losses = [LossSpec(drop=args.drop, duplicate=args.duplicate)] if lossy else []
+    kills = (
+        [KillSpec(rank=args.kill_rank, time=kill_at)]
+        if args.kill_rank is not None else []
+    )
+    plan = FaultPlan(losses=losses, kills=kills, seed=args.seed)
+    desc = []
+    if lossy:
+        desc.append(f"drop={args.drop:g} duplicate={args.duplicate:g} per message")
+    if kills:
+        desc.append(f"kill rank {args.kill_rank} at t={kill_at * 1e3:.3f} ms")
+    lines.append(f"fault plan: {'; '.join(desc)} (seed={args.seed})")
+
+    libraries = [args.library]
+    if args.compare and args.compare != args.library:
+        libraries.append(args.compare)
+    for lib in libraries:
+        r = run_collective(
+            spec, nranks, lib, args.operation, args.nbytes,
+            iterations=args.iterations, seed=args.seed, fault_plan=plan,
+            sanitize=not kills,  # a hung schedule legitimately leaves wreckage
+        )
+        lines.append(f"faulty      {r}")
+        if not r.completed:
+            lines.append(
+                "            -> HUNG: the schedule cannot recover from the "
+                "failure (reported inf)"
+            )
+        elif r.degraded:
+            lines.append(
+                "            -> completed DEGRADED: survivors re-routed "
+                "around the dead rank"
+            )
+    return "\n".join(lines)
 
 
 def _cmd_lint(args) -> int:
@@ -215,10 +314,13 @@ def _cmd_machines() -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in ("fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "table1"):
+    if args.command in ("fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
+                        "table1", "figx"):
         print(_cmd_experiment(args))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "chaos":
+        print(_cmd_chaos(args))
     elif args.command == "lint":
         return _cmd_lint(args)
     elif args.command == "tree":

@@ -20,6 +20,26 @@ device-to-host pull serves all outgoing copies, and the segment is flushed to
 the leader's own GPU by an asynchronous copy that overlaps with forwarding.
 Reductions may be offloaded to simulated CUDA streams
 (``ctx.reduce_on_gpu``), freeing the host CPU (Section 4.2).
+
+Degraded mode (DESIGN.md S17): when a failure detector is attached to the
+world, every rank state machine subscribes to it. The event-driven structure
+is what makes recovery local: completion state is per-segment and per-child,
+so routing around a dead rank means editing a child list and replaying a
+``have``-set — no global restart.
+
+* **bcast**: the dead rank's parent adopts its live descendants (walking
+  through consecutive dead ranks) and replays every segment it holds to
+  them; each orphan cancels its receives from the dead parent and re-posts
+  the full segment range from its nearest live ancestor, its ``have`` set
+  suppressing re-forwarding of segments that arrived twice.
+* **reduce**: the dead rank's parent drops it from the contribution count
+  (partial contributions already folded stay); the dead rank's children
+  abandon their upward sends and complete locally — that subtree's
+  contribution is lost, and the handle's :class:`CompletionReport` says so.
+
+Blocking and ``Waitall``-based schedules have no such hook: a dead rank
+leaves them waiting forever, which is the comparison the fault harness
+(``repro chaos``) demonstrates.
 """
 
 from __future__ import annotations
@@ -44,7 +64,7 @@ class _AdaptBcastRank:
         self.local = local
         tree = ctx.tree
         assert tree is not None
-        self.children = tree.children[local]
+        self.children = list(tree.children[local])
         self.parent = tree.parent[local]
         self.sizes = segment_sizes(ctx.nbytes, ctx.config)
         self.nseg = len(self.sizes)
@@ -52,23 +72,28 @@ class _AdaptBcastRank:
         self.staged = local in ctx.host_staging
         self.payloads: list[Any] = [None] * self.nseg
 
-        # Child-independent send state (Section 2.2.2).
+        # Segments this rank holds (received, or owned by the root).
+        self.have: set[int] = set()
+
+        # Child-independent send state (Section 2.2.2). ``sent_done`` counts
+        # completed sends per child: completion is per child (quota nseg),
+        # not a static product, so the child list may change under faults.
         self.ready: dict[int, list[int]] = {c: [] for c in self.children}
         self.inflight: dict[int, int] = {c: 0 for c in self.children}
-        self.sends_done = 0
-        self.sends_total = self.nseg * len(self.children)
+        self.sent_done: dict[int, int] = {c: 0 for c in self.children}
 
-        # Receive state.
-        self.recvs_done = 0
+        # Receive state: a window of M pre-posted recvs from the parent.
         self.next_recv = 0
+        self.recvs_out = 0
+        self._recv_pending: dict[int, Any] = {}  # seg -> Request
 
         # GPU staging flush state (non-root leaders must land data in their
-        # own GPU; the root's data already lives there).
+        # own GPU; the root's data already lives there). Dynamic: one flush
+        # per first receipt of a segment.
         self.flushes_done = 0
-        self.flushes_total = (
-            self.nseg if (self.staged and self._gpu_world() and not self.is_root) else 0
-        )
+        self.flushes_started = 0
 
+        self._handled_failures: set[int] = set()
         self.finished = False
 
     # -- helpers -------------------------------------------------------------
@@ -87,7 +112,7 @@ class _AdaptBcastRank:
                 self._root_stage_pulls()
             else:
                 for i in range(self.nseg):
-                    self._segment_ready(i)
+                    self._own_segment(i)
         else:
             for _ in range(min(ctx.config.posted_recvs, self.nseg)):
                 self._post_recv()
@@ -110,7 +135,7 @@ class _AdaptBcastRank:
 
         def on_pulled(flow, seg=seg) -> None:
             rt = self.ctx.rt(self.local)
-            rt.cpu.when_available(lambda: (self._post_pull(), self._segment_ready(seg)))
+            rt.cpu.when_available(lambda: (self._post_pull(), self._own_segment(seg)))
 
         self.ctx.world.fabric.start_transfer(
             world_rank, world_rank, self.sizes[seg], on_pulled,
@@ -120,21 +145,29 @@ class _AdaptBcastRank:
     # -- receive path -------------------------------------------------------------
 
     def _post_recv(self) -> None:
-        if self.next_recv >= self.nseg:
+        if self.parent is None or self.next_recv >= self.nseg:
             return
         seg = self.next_recv
         self.next_recv += 1
-        assert self.parent is not None
-        req = self.ctx.irecv(self.local, self.parent, self.ctx.seg_tag(seg), self.sizes[seg])
+        req = self.ctx.irecv(
+            self.local, self.parent, self.ctx.seg_tag(seg), self.sizes[seg]
+        )
+        self.recvs_out += 1
+        self._recv_pending[seg] = req
         req.add_callback(lambda r, seg=seg: self._on_recv(seg, r.data))
 
     def _on_recv(self, seg: int, data: Any) -> None:
-        self.recvs_done += 1
-        self.payloads[seg] = data
+        self.recvs_out -= 1
+        self._recv_pending.pop(seg, None)
         self._post_recv()  # keep M outstanding
-        if self.staged and self._gpu_world():
-            self._flush_to_gpu(seg)
-        self._segment_ready(seg)
+        if seg not in self.have:
+            self.payloads[seg] = data
+            if self.staged and self._gpu_world() and not self.is_root:
+                self.flushes_started += 1
+                self._flush_to_gpu(seg)
+            self._own_segment(seg)
+        # else: a recovery re-send of a segment the dead parent already
+        # delivered — absorbed, not re-forwarded.
         self._maybe_finish()
 
     def _flush_to_gpu(self, seg: int) -> None:
@@ -152,8 +185,9 @@ class _AdaptBcastRank:
 
     # -- send path -----------------------------------------------------------------
 
-    def _segment_ready(self, seg: int) -> None:
-        for child in self.children:
+    def _own_segment(self, seg: int) -> None:
+        self.have.add(seg)
+        for child in list(self.children):
             self.ready[child].append(seg)
             self._try_send(child)
 
@@ -177,29 +211,121 @@ class _AdaptBcastRank:
             )
 
     def _on_send_done(self, child: int) -> None:
-        self.inflight[child] -= 1
-        self.sends_done += 1
-        self._check_window(child)
-        self._try_send(child)
+        if child in self.inflight:
+            self.inflight[child] -= 1
+            self.sent_done[child] += 1
+            self._check_window(child)
+            self._try_send(child)
         self._maybe_finish()
+
+    # -- failure handling ---------------------------------------------------------
+
+    def on_failure(self, dead: int) -> None:
+        """A comm-member rank was declared failed (runs on this rank's CPU)."""
+        if dead == self.local or dead in self._handled_failures:
+            return
+        self._handled_failures.add(dead)
+        report = self.handle.report
+        report.degraded = True
+        report.failed_ranks.add(dead)
+        self.handle.excuse(dead)
+        if dead in self.children:
+            self._adopt_orphans_of(dead)
+        if self.parent is not None and dead == self.parent:
+            self._reparent()
+
+    def _failed_locals(self) -> set[int]:
+        detector = self.ctx.world.failure_detector
+        if detector is None:
+            return set()
+        comm = self.ctx.comm
+        return {comm.local_rank(w) for w in detector.failed if w in comm}
+
+    def _live_descendants(self, dead: int) -> list[int]:
+        """Live orphans below ``dead``, walking through dead intermediates."""
+        tree = self.ctx.tree
+        failed = self._failed_locals()
+        out: list[int] = []
+        stack = list(tree.children[dead])
+        while stack:
+            r = stack.pop()
+            if r in failed:
+                stack.extend(tree.children[r])
+            else:
+                out.append(r)
+        return sorted(out)
+
+    def _adopt_orphans_of(self, dead: int) -> None:
+        self.children.remove(dead)
+        self.ready.pop(dead, None)
+        self.inflight.pop(dead, None)
+        self.sent_done.pop(dead, None)
+        for orphan in self._live_descendants(dead):
+            if orphan in self.children:
+                continue
+            self.children.append(orphan)
+            # Replay everything held so far; segments received later are
+            # forwarded by the normal path, so the orphan's quota is nseg.
+            self.ready[orphan] = sorted(self.have)
+            self.inflight[orphan] = 0
+            self.sent_done[orphan] = 0
+            self.handle.report.adoptions.append((self.local, orphan))
+            self._try_send(orphan)
+        self._maybe_finish()
+
+    def _reparent(self) -> None:
+        """Parent died: re-post the full segment range from the nearest live
+        ancestor (who, symmetrically, adopted this rank)."""
+        rt = self.ctx.rt(self.local)
+        for seg, req in list(self._recv_pending.items()):
+            if req.completed:
+                continue  # its callback is already queued on this CPU
+            rt.cancel_recv(req)
+            self.recvs_out -= 1
+            del self._recv_pending[seg]
+        tree = self.ctx.tree
+        failed = self._failed_locals()
+        ancestor = tree.parent[self.local]
+        while ancestor is not None and ancestor in failed:
+            ancestor = tree.parent[ancestor]
+        if ancestor is None:
+            # The root chain is dead: the data source is gone. Nothing can
+            # complete this rank's receive set; excuse it and say so.
+            self.parent = None
+            self.handle.report.note(
+                f"rank {self.local}: no live ancestor, broadcast data lost"
+            )
+            if not self.finished:
+                self.handle.excuse(self.local)
+            return
+        self.parent = ancestor
+        # Re-post the full range: the adopter replays all segments (it
+        # cannot know which ones the dead parent delivered), and the ``have``
+        # set absorbs the duplicates.
+        self.next_recv = 0
+        for _ in range(min(self.ctx.config.posted_recvs, self.nseg)):
+            self._post_recv()
 
     # -- completion ---------------------------------------------------------------------
 
     def _maybe_finish(self) -> None:
         if self.finished:
             return
-        recvs_needed = 0 if self.is_root else self.nseg
-        if (
-            self.recvs_done >= recvs_needed
-            and self.sends_done >= self.sends_total
-            and self.flushes_done >= self.flushes_total
-        ):
-            self.finished = True
-            if self.ctx.carry():
-                out = self.ctx.data if self.is_root else assemble_payload(self.payloads)
-            else:
-                out = None
-            self.handle.mark_done(self.local, self.ctx.world.engine.now, out)
+        if len(self.have) < self.nseg:
+            return
+        if self.recvs_out > 0:
+            return
+        if self.flushes_done < self.flushes_started:
+            return
+        for child in self.children:
+            if self.sent_done[child] < self.nseg:
+                return
+        self.finished = True
+        if self.ctx.carry():
+            out = self.ctx.data if self.is_root else assemble_payload(self.payloads)
+        else:
+            out = None
+        self.handle.mark_done(self.local, self.ctx.world.engine.now, out)
 
 
 def bcast_adapt(
@@ -215,6 +341,8 @@ def bcast_adapt(
         rank_state = _AdaptBcastRank(ctx, handle, local)
         # Kick-off happens on the rank's CPU, like entering MPI_Bcast.
         ctx.rt(local).cpu.when_available(rank_state._start)
+        # Degraded mode: learn of crashes after the kick-off is queued.
+        ctx.subscribe_failures(local, rank_state.on_failure)
     return handle
 
 
@@ -223,7 +351,9 @@ class _AdaptReduceRank:
 
     Mirrors the broadcast: per-child receive windows of ``M`` segments,
     reduction work charged per contribution (CPU, or CUDA streams when
-    offloaded — Section 4.2), a per-parent send window of ``N``.
+    offloaded — Section 4.2), a per-parent send window of ``N``. A segment
+    closes when every *current* child contributed, so a child's death
+    reopens nothing and closes whatever it alone was holding up.
     """
 
     def __init__(self, ctx: CollectiveContext, handle: CollectiveHandle, local: int):
@@ -232,7 +362,7 @@ class _AdaptReduceRank:
         self.local = local
         tree = ctx.tree
         assert tree is not None
-        self.children = tree.children[local]
+        self.children = list(tree.children[local])
         self.parent = tree.parent[local]
         self.sizes = segment_sizes(ctx.nbytes, ctx.config)
         self.nseg = len(self.sizes)
@@ -240,38 +370,39 @@ class _AdaptReduceRank:
         self.acc: list[Any] = list(slice_payload(own, self.sizes))
 
         self.contributions = [0] * self.nseg
+        self.seg_closed = [False] * self.nseg
         self.next_recv = {c: 0 for c in self.children}
+        self._recv_pending: dict[tuple[int, int], Any] = {}  # (child, seg) -> Request
         self.sends_done = 0
         self.inflight_up = 0
         self.ready_up: list[int] = []
         self.segments_reduced = 0
+        self.parent_lost = False
+        self._handled_failures: set[int] = set()
         self.finished = False
 
     def _start(self) -> None:
-        if not self.children:
-            if self.parent is None:
-                # Single-rank communicator: nothing to reduce.
-                self.segments_reduced = self.nseg
-                self._maybe_finish()
-                return
-            # Leaf: stream own segments to the parent, window N.
-            for seg in range(self.nseg):
-                self.ready_up.append(seg)
-            self._try_send_up()
-            return
         for child in self.children:
             for _ in range(min(self.ctx.config.posted_recvs, self.nseg)):
                 self._post_recv(child)
+        # Leaves (no children) close every segment immediately and stream
+        # them up, window N; the single-rank root completes here.
+        for seg in range(self.nseg):
+            self._check_seg(seg)
 
     def _post_recv(self, child: int) -> None:
+        if child not in self.next_recv:
+            return  # child died and was dropped
         seg = self.next_recv[child]
         if seg >= self.nseg:
             return
         self.next_recv[child] += 1
         req = self.ctx.irecv(self.local, child, self.ctx.seg_tag(seg), self.sizes[seg])
+        self._recv_pending[(child, seg)] = req
         req.add_callback(lambda r, child=child, seg=seg: self._on_recv(child, seg, r.data))
 
     def _on_recv(self, child: int, seg: int, data: Any) -> None:
+        self._recv_pending.pop((child, seg), None)
         self._post_recv(child)
         # Fold this contribution into the accumulator; arithmetic cost is
         # charged to the CPU or offloaded to a CUDA stream.
@@ -284,12 +415,17 @@ class _AdaptReduceRank:
 
     def _on_reduced(self, seg: int) -> None:
         self.contributions[seg] += 1
-        if self.contributions[seg] == len(self.children):
-            self.segments_reduced += 1
-            if self.parent is not None:
-                self.ready_up.append(seg)
-                self._try_send_up()
-            self._maybe_finish()
+        self._check_seg(seg)
+
+    def _check_seg(self, seg: int) -> None:
+        if self.seg_closed[seg] or self.contributions[seg] < len(self.children):
+            return
+        self.seg_closed[seg] = True
+        self.segments_reduced += 1
+        if self.parent is not None and not self.parent_lost:
+            self.ready_up.append(seg)
+            self._try_send_up()
+        self._maybe_finish()
 
     def _try_send_up(self) -> None:
         ctx = self.ctx
@@ -315,13 +451,61 @@ class _AdaptReduceRank:
         self.inflight_up -= 1
         self.sends_done += 1
         self._check_window()
-        self._try_send_up()
+        if not self.parent_lost:
+            self._try_send_up()
         self._maybe_finish()
+
+    # -- failure handling ---------------------------------------------------------
+
+    def on_failure(self, dead: int) -> None:
+        """A comm-member rank was declared failed (runs on this rank's CPU)."""
+        if dead == self.local or dead in self._handled_failures:
+            return
+        self._handled_failures.add(dead)
+        report = self.handle.report
+        report.degraded = True
+        report.failed_ranks.add(dead)
+        self.handle.excuse(dead)
+        if dead in self.children:
+            self._drop_child(dead)
+        if self.parent is not None and dead == self.parent:
+            self._abandon_upward(dead)
+
+    def _drop_child(self, dead: int) -> None:
+        """Skip the dead subtree: contributions it already delivered stay
+        folded; segments it was holding up close without it."""
+        self.children.remove(dead)
+        self.next_recv.pop(dead, None)
+        rt = self.ctx.rt(self.local)
+        for (child, seg), req in list(self._recv_pending.items()):
+            if child != dead or req.completed:
+                continue
+            rt.cancel_recv(req)
+            del self._recv_pending[(child, seg)]
+        self.handle.report.note(
+            f"rank {self.local}: dead child {dead}'s remaining contribution skipped"
+        )
+        for seg in range(self.nseg):
+            self._check_seg(seg)
+
+    def _abandon_upward(self, dead: int) -> None:
+        """Parent died: this subtree's contribution has nowhere to go. Finish
+        collecting from the children (their sends need draining) and complete
+        locally, like a root without a result."""
+        self.parent_lost = True
+        self.ready_up.clear()
+        self.handle.report.lost_subtrees.append(self.local)
+        self.handle.report.note(
+            f"rank {self.local}: parent {dead} died, subtree contribution lost"
+        )
+        self._maybe_finish()
+
+    # -- completion ---------------------------------------------------------------------
 
     def _maybe_finish(self) -> None:
         if self.finished:
             return
-        if self.parent is not None:
+        if self.parent is not None and not self.parent_lost:
             done = self.sends_done >= self.nseg
         else:
             done = self.segments_reduced >= self.nseg
@@ -347,4 +531,5 @@ def reduce_adapt(
     for local in ranks if ranks is not None else range(ctx.comm.size):
         rank_state = _AdaptReduceRank(ctx, handle, local)
         ctx.rt(local).cpu.when_available(rank_state._start)
+        ctx.subscribe_failures(local, rank_state.on_failure)
     return handle

@@ -23,6 +23,40 @@ from repro.trees.base import Tree
 
 
 @dataclass
+class CompletionReport:
+    """How a collective completed — degraded-mode bookkeeping (DESIGN.md S17).
+
+    A clean run leaves the report untouched (``degraded`` False). Fault-aware
+    collectives record the failures they routed around: which local ranks
+    died, which live ranks adopted which orphans (bcast), and which subtree
+    roots' contributions were lost (reduce — data a dead rank had not yet
+    forwarded cannot be recovered; contributions it *had* already folded and
+    sent stay in the result).
+    """
+
+    degraded: bool = False
+    failed_ranks: set[int] = field(default_factory=set)
+    adoptions: list[tuple[int, int]] = field(default_factory=list)  # (adopter, orphan)
+    lost_subtrees: list[int] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def note(self, text: str) -> None:
+        if text not in self.notes:
+            self.notes.append(text)
+
+    def summary(self) -> str:
+        if not self.degraded:
+            return "clean"
+        parts = [f"degraded: failed={sorted(self.failed_ranks)}"]
+        if self.adoptions:
+            parts.append(f"adoptions={self.adoptions}")
+        if self.lost_subtrees:
+            parts.append(f"lost_subtrees={sorted(set(self.lost_subtrees))}")
+        parts.extend(self.notes)
+        return "; ".join(parts)
+
+
+@dataclass
 class CollectiveHandle:
     """Observable outcome of one collective operation."""
 
@@ -34,6 +68,10 @@ class CollectiveHandle:
     # Fired as each rank finishes — the hook hierarchical compositions use to
     # chain the next level's participation (Section 3.1 semantics).
     on_rank_done: list[Callable[[int, float], None]] = field(default_factory=list)
+    # Degraded-mode outcome: dead ranks are excused from completion and the
+    # report records what the survivors did about them.
+    excused: set[int] = field(default_factory=set)
+    report: CompletionReport = field(default_factory=CompletionReport)
 
     def mark_done(self, local: int, time: float, output: Any = None) -> None:
         if local in self.done_time:
@@ -44,17 +82,28 @@ class CollectiveHandle:
         for cb in list(self.on_rank_done):
             cb(local, time)
 
+    def excuse(self, local: int) -> None:
+        """Release a (dead) rank from the completion set. Idempotent."""
+        self.excused.add(local)
+
     @property
     def done(self) -> bool:
-        return len(self.done_time) == self.size
+        if len(self.done_time) == self.size:
+            return True
+        return all(
+            local in self.done_time or local in self.excused
+            for local in range(self.size)
+        )
 
     def elapsed(self) -> float:
-        """Wall time from launch to the last rank's completion."""
+        """Wall time from launch to the last (surviving) rank's completion."""
         if not self.done:
             raise RuntimeError(
                 f"collective {self.name!r} incomplete: "
                 f"{len(self.done_time)}/{self.size} ranks finished"
             )
+        if not self.done_time:
+            raise RuntimeError(f"collective {self.name!r}: no rank completed")
         return max(self.done_time.values()) - self.start_time
 
     def rank_elapsed(self, local: int) -> float:
@@ -126,6 +175,27 @@ class CollectiveContext:
 
     def irecv(self, dst_local: int, src_local: int, tag: int, nbytes: int) -> Request:
         return self.rt(dst_local).irecv(self.comm.world_rank(src_local), tag, nbytes)
+
+    # -- fault surface -------------------------------------------------------------
+
+    def subscribe_failures(self, local: int, fn: Callable[[int], None]) -> None:
+        """Route failure-detector events to a rank's state machine.
+
+        Inert in the default fault-free configuration (no detector ever
+        appears, the buffered subscription is never exercised) — collectives
+        then behave exactly as before. Works regardless of launch order: a
+        detector created later adopts earlier subscriptions. Notifications
+        arrive as *local* ranks of this communicator, dispatch on
+        ``local``'s CPU (so a dead or noisy rank learns never or late), and
+        include failures declared before subscription.
+        """
+        comm = self.comm
+
+        def on_fail(world_rank: int) -> None:
+            if world_rank in comm:
+                fn(comm.local_rank(world_rank))
+
+        self.world.subscribe_failures(on_fail, cpu=self.rt(local).cpu)
 
     # -- reduction helpers ----------------------------------------------------------
 

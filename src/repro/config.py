@@ -21,6 +21,19 @@ class RuntimeConfig:
     eager_threshold: int = 16 * 1024
     # Control messages (RTS/CTS) are latency-only wire messages of this size.
     control_bytes: int = 64
+    # Reliability (opt-in, for lossy fabrics — repro.faults): every data
+    # message carries a sequence number, the receiver acks delivery, and the
+    # sender retransmits on timeout with exponential backoff until the retry
+    # budget is exhausted, at which point the peer is reported to the failure
+    # detector and the send abandoned. RTS/CTS/acks travel a reliable
+    # control channel (credit-based hardware assumption, DESIGN.md S17).
+    reliable: bool = False
+    # First retransmission fires this long after a transmission.
+    ack_timeout: float = 2e-3
+    # Each further retransmission waits `backoff` times longer.
+    retry_backoff: float = 2.0
+    # Transmission attempts per message before declaring the peer failed.
+    retry_limit: int = 10
 
     def with_(self, **kw) -> "RuntimeConfig":
         return replace(self, **kw)

@@ -1,0 +1,24 @@
+"""Fault injection and failure detection (DESIGN.md S17).
+
+Deterministic, seeded fault workloads for the simulated machine: fail-stop
+crashes, rank stalls, lossy/duplicating links, and bandwidth flapping —
+plus the timeout-based failure detector that surfaces crashes to the
+collectives layer. The injection design mirrors :mod:`repro.noise`: a
+declarative plan, an injector armed over an explicit horizon, and a seeded
+generator so identical seeds give byte-identical fault timelines.
+"""
+
+from repro.faults.detector import FailureDetector
+from repro.faults.injector import FabricFaults, FaultInjector
+from repro.faults.plan import FaultPlan, FlapSpec, KillSpec, LossSpec, StallSpec
+
+__all__ = [
+    "FailureDetector",
+    "FabricFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "FlapSpec",
+    "KillSpec",
+    "LossSpec",
+    "StallSpec",
+]

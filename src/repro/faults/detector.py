@@ -1,0 +1,82 @@
+"""Timeout-based failure detection.
+
+Crash-only model: a suspected rank is a failed rank (no recovery, no false
+positives to retract — the simulator knows the ground truth, the *delay*
+before survivors learn it is what the detector models). Two paths feed it:
+
+* the :class:`~repro.faults.injector.FaultInjector` reports a fail-stop
+  ``detect_delay`` seconds after the crash (a heartbeat timeout), and
+* a reliable sender whose retry budget ran dry calls :meth:`suspect`
+  (an ack timeout), which may beat the heartbeat.
+
+Subscribers — degraded-mode collectives — register a callback per rank;
+notifications hop onto the subscriber's CPU, so a rank that died with the
+victim never observes the failure (its CPU drops the dispatch), and a noisy
+rank learns late, exactly like a real process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mpi.runtime import MpiWorld
+from repro.sim.cpu import Cpu
+
+
+class FailureDetector:
+    """Surfaces fail-stop crashes to the live ranks, after a delay."""
+
+    def __init__(self, world: MpiWorld, detect_delay: float = 1e-3):
+        self.world = world
+        self.detect_delay = detect_delay
+        self.failed: set[int] = set()
+        self.suspicions: list[tuple[float, int, str]] = []  # (time, rank, reason)
+        self._subscribers: list[tuple[Callable[[int], None], Optional[Cpu]]] = []
+        world.failure_detector = self
+        # Adopt subscriptions made before the detector existed (collectives
+        # launched ahead of the fault injector).
+        for fn, cpu in world._failure_subscribers:
+            self.subscribe(fn, cpu=cpu)
+        world._failure_subscribers.clear()
+
+    def is_failed(self, rank: int) -> bool:
+        return rank in self.failed
+
+    def subscribe(
+        self, fn: Callable[[int], None], cpu: Optional[Cpu] = None
+    ) -> None:
+        """Call ``fn(rank)`` whenever a rank is declared failed.
+
+        With ``cpu`` given the notification is dispatched as work on that
+        CPU (and silently dropped if it has itself fail-stopped). Ranks
+        already declared failed are delivered immediately — a collective
+        starting after a crash must still learn of it.
+        """
+        self._subscribers.append((fn, cpu))
+        for rank in sorted(self.failed):
+            self._notify_one(fn, cpu, rank)
+
+    def observe_kill(self, rank: int) -> None:
+        """A fail-stop happened now; declare it after the detection delay."""
+        self.world.engine.call_after(self.detect_delay, self.report_failure, rank)
+
+    def suspect(self, rank: int, reason: str = "") -> None:
+        """A peer stopped acking (reliable-transport retry budget exhausted)."""
+        self.suspicions.append((self.world.engine.now, rank, reason))
+        self.report_failure(rank)
+
+    def report_failure(self, rank: int) -> None:
+        """Declare ``rank`` failed and fan out to subscribers. Idempotent."""
+        if rank in self.failed:
+            return
+        self.failed.add(rank)
+        for fn, cpu in self._subscribers:
+            self._notify_one(fn, cpu, rank)
+
+    def _notify_one(
+        self, fn: Callable[[int], None], cpu: Optional[Cpu], rank: int
+    ) -> None:
+        if cpu is not None:
+            cpu.when_available(fn, rank)
+        else:
+            self.world.engine.call_after(0.0, fn, rank)

@@ -1,0 +1,133 @@
+"""Declarative fault workloads.
+
+A :class:`FaultPlan` is data, not behaviour: it lists what goes wrong and
+when, and carries the seed that makes the probabilistic parts reproducible.
+The :class:`~repro.faults.injector.FaultInjector` turns a plan into engine
+events and fabric hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Fail-stop ``rank`` at absolute simulation time ``time``."""
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"kill time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """Steal ``rank``'s CPU for ``duration`` seconds starting at ``time``.
+
+    A stall is livelock-flavoured noise: the rank recovers, unlike a kill.
+    """
+
+    rank: int
+    time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"stall time must be >= 0, got {self.time}")
+        if self.duration <= 0:
+            raise ValueError(f"stall duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """Degrade the (src -> dst) data channels: drop and duplicate messages.
+
+    ``src``/``dst`` of ``None`` wildcard over all ranks, so a single
+    ``LossSpec(drop=0.01)`` makes the whole fabric 1% lossy. Probabilities
+    apply per data-plane message (eager payloads and rendezvous data);
+    control traffic rides the reliable credit-based channel and is exempt.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name, p in (("drop", self.drop), ("duplicate", self.duplicate)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {p}")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
+class FlapSpec:
+    """Periodically degrade every link whose name contains ``link``.
+
+    Each period the link runs at ``factor`` of its base capacity for
+    ``duty`` of the period, then recovers — a flapping cable or a congested
+    oversubscribed switch port. Link names follow the fabric inventory
+    (e.g. ``"nic-out:n1"``, ``"qpi"``, or ``""`` for every link).
+    """
+
+    link: str
+    factor: float
+    period: float
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"flap factor must be in (0, 1], got {self.factor}")
+        if self.period <= 0:
+            raise ValueError(f"flap period must be > 0, got {self.period}")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError(f"flap duty must be in (0, 1), got {self.duty}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded fault workload.
+
+    ``seed`` drives every probabilistic decision (drops, duplicates, flap
+    phases): two injectors built from equal plans over identical workloads
+    produce byte-identical fault timelines. ``detect_delay`` is how long
+    after a crash the failure detector notices it — the timeout a real
+    heartbeat/ack-based detector would need.
+    """
+
+    kills: tuple[KillSpec, ...] = ()
+    stalls: tuple[StallSpec, ...] = ()
+    losses: tuple[LossSpec, ...] = ()
+    flaps: tuple[FlapSpec, ...] = ()
+    seed: int = 0
+    detect_delay: float = 1e-3
+
+    def __init__(
+        self,
+        kills=(),
+        stalls=(),
+        losses=(),
+        flaps=(),
+        seed: int = 0,
+        detect_delay: float = 1e-3,
+    ):
+        # Frozen dataclass with sequence coercion: accept any iterables.
+        object.__setattr__(self, "kills", tuple(kills))
+        object.__setattr__(self, "stalls", tuple(stalls))
+        object.__setattr__(self, "losses", tuple(losses))
+        object.__setattr__(self, "flaps", tuple(flaps))
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "detect_delay", detect_delay)
+        if detect_delay < 0:
+            raise ValueError(f"detect_delay must be >= 0, got {detect_delay}")
+
+    def empty(self) -> bool:
+        return not (self.kills or self.stalls or self.losses or self.flaps)

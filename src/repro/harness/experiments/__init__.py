@@ -20,6 +20,7 @@ from repro.harness.experiments import (
     fig09_msgsize,
     fig10_scaling,
     fig11_gpu,
+    figx_faults,
     table1_asp,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "fig09_msgsize",
     "fig10_scaling",
     "fig11_gpu",
+    "figx_faults",
     "table1_asp",
 ]

@@ -1,0 +1,119 @@
+"""Figure X (ours) — collectives on a faulty fabric (DESIGN.md §17).
+
+The paper evaluates ADAPT under *noise*; this companion experiment evaluates
+it under *faults*, using the fault-injection layer (``repro.faults``):
+
+* **Loss sweep** — every link drops each data transfer independently with
+  probability p ∈ {0, 0.5%, 1%, 2%}. The reliable transport (ack/retransmit,
+  duplicate suppression) is enabled for every point including p=0, so the
+  baseline already pays the ack overhead and the slowdown isolates the cost
+  of *recovery*, not of the protocol. ADAPT's event-driven schedules absorb
+  retransmit delay the same way they absorb noise — a late segment only
+  delays its own subtree — while the Waitall-style comparator
+  (OMPI-default-topo: same topology-aware tree, nonblocking + Waitall)
+  resynchronizes every rank on the slowest retransmission.
+
+* **Fail-stop** — one non-root interior rank is killed partway through the
+  collective. ADAPT's degraded mode re-routes around the corpse (the parent
+  adopts the orphaned grandchildren; a reduce drops the dead subtree's
+  contribution) and completes with ``status=degraded``. The Waitall schedule
+  has no recovery path: its survivors block forever and the run reports
+  ``hung`` (times are ``inf``).
+
+Shape claims the bench asserts: ADAPT completes every point (ok/degraded,
+never hung); retransmits grow with the drop rate; the killed-rank row is
+``degraded`` for ADAPT and ``hung`` for the Waitall comparator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.faults import FaultPlan, KillSpec, LossSpec
+from repro.harness.experiments.common import SCALES, ExperimentResult, fmt_bytes
+from repro.harness.runner import run_collective
+from repro.harness.report import slowdown_percent
+from repro.machine import cori
+
+MSG = 512 << 10
+DROP_RATES = (0.0, 0.005, 0.01, 0.02)
+LIBRARIES = ("OMPI-adapt", "OMPI-default-topo")
+ITERS = 4
+#: Fraction of the fault-free single-shot time at which the victim is killed.
+KILL_FRACTION = 0.3
+
+
+def fault_label(drop: float) -> str:
+    return "none" if drop == 0 else f"drop {drop * 100:g}%"
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    cfg = SCALES[scale]
+    spec = cori(nodes=cfg["cori_nodes"])
+    nranks = spec.total_cores
+    victim = nranks // 3  # an interior, non-root rank in every topology
+    result = ExperimentResult(
+        experiment="Figure X",
+        title=f"faulty fabric, cori, {nranks} ranks, {fmt_bytes(MSG)}",
+        headers=["operation", "library", "fault", "mean_ms", "slowdown%",
+                 "retransmits", "status"],
+        notes=[
+            "reliable transport (ack/retransmit) enabled at every point, "
+            "including the drop-0 baseline",
+            f"kill rows: rank {victim} fail-stops at "
+            f"{KILL_FRACTION:g}x the fault-free time; 'hung' means the "
+            "schedule never completed (reported inf)",
+        ],
+    )
+
+    def status(r) -> str:
+        if not r.completed:
+            return "hung"
+        return "degraded" if r.degraded else "ok"
+
+    for operation in ("bcast", "reduce"):
+        for lib in LIBRARIES:
+            base = None
+            for drop in DROP_RATES:
+                # One seed across the sweep: the drop decisions at a higher
+                # rate are a superset of the lower rate's (same uniform
+                # stream), so retransmit counts grow with the rate.
+                plan = FaultPlan(
+                    losses=[LossSpec(drop=drop, duplicate=drop / 10)], seed=2
+                )
+                r = run_collective(
+                    spec, nranks, lib, operation, MSG,
+                    iterations=ITERS, seed=1, fault_plan=plan,
+                )
+                mean = r.mean_time
+                if base is None:
+                    base = mean
+                slow = slowdown_percent(mean, base) if math.isfinite(mean) else float("inf")
+                result.add(
+                    operation, lib, fault_label(drop),
+                    round(mean * 1e3, 3), round(slow, 1),
+                    r.transport.get("retransmits", 0), status(r),
+                )
+            # Fail-stop: single-shot latency, kill mid-collective.
+            probe = run_collective(
+                spec, nranks, lib, operation, MSG,
+                iterations=1, mode="sequential", seed=1,
+            )
+            kill_at = KILL_FRACTION * probe.mean_time
+            plan = FaultPlan(kills=[KillSpec(rank=victim, time=kill_at)], seed=3)
+            r = run_collective(
+                spec, nranks, lib, operation, MSG,
+                iterations=1, mode="sequential", seed=1, fault_plan=plan,
+            )
+            mean = r.mean_time
+            slow = (
+                slowdown_percent(mean, probe.mean_time)
+                if math.isfinite(mean) else float("inf")
+            )
+            result.add(
+                operation, lib, f"kill rank {victim}",
+                round(mean * 1e3, 3) if math.isfinite(mean) else float("inf"),
+                round(slow, 1) if math.isfinite(slow) else float("inf"),
+                r.transport.get("retransmits", 0), status(r),
+            )
+    return result

@@ -25,6 +25,8 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from repro.config import DEFAULT_COLLECTIVE, CollectiveConfig, RuntimeConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.libraries.presets import LibraryModel, PreparedCollective, library_by_name
 from repro.machine.spec import MachineSpec
 from repro.mpi.communicator import Communicator
@@ -44,6 +46,13 @@ class RunResult:
     nbytes: int
     noise_percent: float
     times: list[float] = field(default_factory=list)
+    seed: int = 0
+    # Fault runs (repro.faults): transport counters, degraded completions,
+    # and whether every iteration actually finished (a dead rank leaves
+    # blocking schedules incomplete — their times become inf).
+    transport: dict = field(default_factory=dict)
+    degraded: bool = False
+    completed: bool = True
 
     @property
     def mean_time(self) -> float:
@@ -58,22 +67,43 @@ class RunResult:
         return float(np.max(self.times))
 
     def __str__(self) -> str:
-        return (
+        line = (
             f"{self.library:<20} {self.operation:<8} P={self.nranks:<5} "
             f"{self.nbytes:>9}B noise={self.noise_percent:>4.1f}% "
-            f"mean={self.mean_time * 1e3:8.3f} ms"
+            f"mean={self.mean_time * 1e3:8.3f} ms seed={self.seed}"
         )
+        if self.transport:
+            line += (
+                f" [drops={self.transport.get('dropped', 0)}"
+                f" retransmits={self.transport.get('retransmits', 0)}"
+            )
+            if self.degraded:
+                line += " degraded"
+            if not self.completed:
+                line += " INCOMPLETE"
+            line += "]"
+        return line
 
 
-def _drive(world: MpiWorld, injector: Optional[NoiseInjector], done) -> None:
-    """Run the world until ``done()`` is true, keeping noise armed."""
-    horizon = 0.05
-    if injector is None:
+def _drive(world: MpiWorld, injectors: list, done, deadline: Optional[float] = None) -> None:
+    """Run the world until ``done()``, keeping noise/fault injectors armed.
+
+    Stops early at ``deadline`` (simulated seconds) or when the world
+    quiesces with nothing armed — the fate of a blocking schedule whose
+    peer fail-stopped.
+    """
+    if not injectors and deadline is None:
         world.run()
         return
+    horizon = 0.05
     while not done():
-        injector.arm(horizon)
-        world.run(until=world.engine.now + horizon)
+        scheduled = sum(inj.arm(horizon) for inj in injectors)
+        before = world.engine.now
+        world.run(until=before + horizon)
+        if deadline is not None and world.engine.now >= deadline:
+            break
+        if world.engine.now == before and scheduled == 0:
+            break  # quiesced: nothing is left that could make progress
         horizon = min(horizon * 2, 5.0)
 
 
@@ -96,11 +126,20 @@ def run_collective(
     config: CollectiveConfig = DEFAULT_COLLECTIVE,
     runtime_config: Optional[RuntimeConfig] = None,
     custom_algorithm: Optional[Callable] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    sanitize: bool = False,
+    time_limit: Optional[float] = None,
 ) -> RunResult:
     """Measure one (library, operation, size, noise) point.
 
     ``custom_algorithm`` overrides the library's function — used by the
     Figure 8 sweeps, which iterate over Intel's per-algorithm variants.
+
+    ``fault_plan`` arms a :class:`~repro.faults.FaultInjector` over the run;
+    a plan with losses implies the reliable transport unless
+    ``runtime_config`` says otherwise, and a plan with kills bounds the
+    measurement at ``time_limit`` (default 10 simulated seconds) so hanging
+    schedules report ``inf`` instead of looping forever.
     """
     if isinstance(library, str):
         library = library_by_name(library)
@@ -108,14 +147,23 @@ def run_collective(
         raise ValueError(f"unknown operation {operation!r}")
     if mode not in ("imb", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
+    if runtime_config is None:
+        reliable = bool(fault_plan is not None and fault_plan.losses)
+        runtime_config = RuntimeConfig(reliable=reliable)
+    if fault_plan is not None and fault_plan.kills and time_limit is None:
+        time_limit = 10.0
     world = MpiWorld(
         spec,
         nranks,
-        config=runtime_config or RuntimeConfig(),
+        config=runtime_config,
         gpu_bound=gpu,
         carry_data=False,
+        sanitize=sanitize,
     )
     comm = Communicator(world)
+    injectors: list = []
+    if fault_plan is not None:
+        injectors.append(FaultInjector(world, fault_plan))
     injector = None
     if noise_percent > 0:
         if noise_ranks == "per-node":
@@ -134,6 +182,7 @@ def run_collective(
             world, noise_percent, frequency_hz=noise_frequency, seed=seed,
             ranks=targets,
         )
+        injectors.append(injector)
     prepare = custom_algorithm or (
         library.bcast if operation == "bcast" else library.reduce
     )
@@ -144,16 +193,39 @@ def run_collective(
         nranks=nranks,
         nbytes=nbytes,
         noise_percent=noise_percent,
+        seed=seed,
     )
+    deadline = (world.engine.now + time_limit) if time_limit is not None else None
+
+    def _finalize(handles) -> None:
+        if fault_plan is not None:
+            result.transport = world.transport_stats()
+            faults = world.fabric.faults
+            if faults is not None:
+                result.transport["dropped"] = faults._injector.dropped
+                result.transport["duplicated"] = faults._injector.duplicated
+        live = [h for h in handles if h is not None]
+        result.degraded = any(h.report.degraded for h in live)
+        result.completed = bool(live) and all(h.done for h in live) and (
+            len(live) == len(handles)
+        )
 
     if mode == "sequential":
+        handles = []
         for _ in range(iterations):
             start = world.engine.now
             prep: PreparedCollective = prepare(comm, root, nbytes, config, op=op)
             handle = prep.launch()
-            _drive(world, injector, lambda: handle.done)
-            result.times.append(max(handle.done_time.values()) - start)
+            handles.append(handle)
+            _drive(world, injectors, lambda: handle.done, deadline)
+            if handle.done and handle.done_time:
+                result.times.append(max(handle.done_time.values()) - start)
+            else:
+                result.times.append(float("inf"))
+            if not handle.done:
+                break  # a hung iteration will not unhang
         world.run()
+        _finalize(handles)
         return result
 
     # -- IMB mode: per-rank chained iterations ------------------------------------
@@ -194,14 +266,22 @@ def run_collective(
         h = handles[last]
         return h is not None and h.done
 
-    _drive(world, injector, all_done)
-    if not all_done():  # pragma: no cover - defensive
-        raise RuntimeError(f"{library.name} {operation}: iterations did not complete")
+    _drive(world, injectors, all_done, deadline)
+    if not all_done():
+        if fault_plan is None:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"{library.name} {operation}: iterations did not complete"
+            )
+        # Under faults an incomplete run is a *result*: a hung schedule.
     # Per-iteration completion intervals (first includes pipeline fill).
-    ends = [max(h.done_time.values()) for h in handles]  # type: ignore[union-attr]
     prev = start
-    for e in ends:
-        result.times.append(max(e - prev, 0.0))
-        prev = max(prev, e)
+    for h in handles:
+        if h is not None and h.done and h.done_time:
+            e = max(h.done_time.values())
+            result.times.append(max(e - prev, 0.0))
+            prev = max(prev, e)
+        else:
+            result.times.append(float("inf"))
     world.run()
+    _finalize(handles)
     return result

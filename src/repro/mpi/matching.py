@@ -10,6 +10,12 @@ The unexpected queue is not free: an eager message that arrives before its
 receive is posted is buffered and later *copied* into the user buffer, an
 extra memcpy the paper calls out as the reason ADAPT posts more recvs than
 sends in flight (``M > N``, Section 2.2.1).
+
+Reliability support (``RuntimeConfig.reliable``, DESIGN.md S17): data
+messages carry per-sender sequence numbers; :meth:`Matcher.register_seq`
+suppresses redeliveries — a retransmission that raced a slow original, or a
+fabric-injected duplicate — so at-least-once transport yields exactly-once
+matching.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ class InboundMessage:
     arrival_time: float = 0.0
     # Rendezvous only: opaque handle the runtime uses to send the CTS back.
     rendezvous_token: Any = None
+    # Reliable transport only: per-sender delivery sequence number.
+    seq: Optional[int] = None
 
 
 @dataclass
@@ -42,6 +50,33 @@ class Matcher:
     posted: dict[tuple[int, int], deque[Request]] = field(default_factory=dict)
     inbound: dict[tuple[int, int], deque[InboundMessage]] = field(default_factory=dict)
     unexpected_eager_count: int = 0
+    # Reliable transport: per-source sets of delivered sequence numbers.
+    seen_seqs: dict[int, set[int]] = field(default_factory=dict)
+    duplicates_suppressed: int = 0
+
+    def register_seq(self, src: int, seq: int) -> bool:
+        """Record a delivery; returns False (and counts) for a duplicate."""
+        seen = self.seen_seqs.setdefault(src, set())
+        if seq in seen:
+            self.duplicates_suppressed += 1
+            return False
+        seen.add(seq)
+        return True
+
+    def fresh_deliveries(self) -> int:
+        """Distinct reliable messages delivered to this rank."""
+        return sum(len(s) for s in self.seen_seqs.values())
+
+    def cancel_recv(self, req: Request) -> bool:
+        """Withdraw a posted (unmatched) receive; True if it was queued."""
+        key = (req.peer, req.tag)
+        queue = self.posted.get(key)
+        if not queue or req not in queue:
+            return False
+        queue.remove(req)
+        if not queue:
+            del self.posted[key]
+        return True
 
     def post_recv(self, req: Request) -> Optional[InboundMessage]:
         """Register a posted receive; returns a message if one already arrived."""

@@ -21,6 +21,7 @@ class Request:
         "tag",
         "nbytes",
         "completed",
+        "cancelled",
         "completion_time",
         "data",
         "_callbacks",
@@ -34,6 +35,7 @@ class Request:
         self.tag = tag
         self.nbytes = nbytes
         self.completed = False
+        self.cancelled = False
         self.completion_time: Optional[float] = None
         self.data: Any = None   # payload, set on recv completion in data mode
         self._callbacks: list[Callable[["Request"], None]] = []
@@ -83,8 +85,27 @@ class Request:
         for fn in callbacks:
             self._dispatch_callback(fn)
 
+    def cancel(self) -> None:
+        """Abandon an in-flight operation (fault tolerance, MPI_Cancel-like).
+
+        The request resolves without having happened: completion callbacks
+        are dropped — they must not mistake a cancellation for a delivery —
+        and the sanitizer is told the request is accounted for. Idempotent;
+        a no-op on an already-completed request.
+        """
+        if self.completed:
+            return
+        self.completed = True
+        self.cancelled = True
+        self._callbacks = []
+        world = getattr(self._runtime, "world", None)
+        if world is not None:
+            self.completion_time = world.engine.now
+            if world.sanitizer is not None:
+                world.sanitizer.on_cancel(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.completed else "pending"
+        state = "cancelled" if self.cancelled else ("done" if self.completed else "pending")
         return (
             f"<Request {self.kind} rank={self.rank} peer={self.peer} "
             f"tag={self.tag} {self.nbytes}B {state}>"

@@ -48,6 +48,26 @@ def _copy_payload(data: Any) -> Any:
     return data
 
 
+class _ReliableSend:
+    """Transport-level state of one reliable message (eager/RTS/rndv-data)."""
+
+    __slots__ = (
+        "seq", "req", "kind", "payload", "src_space", "dst_space",
+        "recv_req", "attempt", "timer",
+    )
+
+    def __init__(self, seq, req, kind, payload, src_space, dst_space, recv_req=None):
+        self.seq = seq
+        self.req = req
+        self.kind = kind  # "eager" | "rts" | "data"
+        self.payload = payload
+        self.src_space = src_space
+        self.dst_space = dst_space
+        self.recv_req = recv_req
+        self.attempt = 0
+        self.timer = None
+
+
 class RankRuntime:
     """One rank's communication engine."""
 
@@ -57,17 +77,26 @@ class RankRuntime:
         self.cpu = Cpu(world.engine, name=f"cpu:{rank}")
         self.matcher = Matcher()
         self.space = MemSpace.GPU if world.gpu_bound else MemSpace.HOST
+        self.alive = True
         # GPU ranks: async CUDA streams for offloaded reductions/copies.
         self._gpu_streams: list[float] = []
         if world.gpu_bound:
             gpu = world.spec.node.gpu
             assert gpu is not None
             self._gpu_streams = [0.0] * gpu.streams
+        # Reliable transport (config.reliable): per-message ack/retransmit.
+        self._send_seq = 0
+        self._reliable_pending: dict[int, _ReliableSend] = {}
         # Statistics.
         self.sends_posted = 0
         self.recvs_posted = 0
         self.bytes_sent = 0
         self.reduce_seconds = 0.0
+        self.transmissions = 0       # wire attempts of reliable messages
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.sends_abandoned = 0     # retry budget exhausted (peer presumed dead)
+        self.msgs_lost_dead = 0      # reliable messages that reached a dead rank
 
     # -- helpers ---------------------------------------------------------------
 
@@ -113,9 +142,12 @@ class RankRuntime:
         # Posting costs CPU time; the wire action happens when the CPU gets
         # to it (noise on this rank delays its own sends).
         if eager:
-            self.cpu.execute(
-                self._o, self._eager_send_start, req, payload, src_space, to_space
+            start = (
+                self._reliable_eager_start
+                if self.world.config.reliable
+                else self._eager_send_start
             )
+            self.cpu.execute(self._o, start, req, payload, src_space, to_space)
         else:
             self.cpu.execute(
                 self._o, self._rndv_send_rts, req, payload, src_space, to_space
@@ -167,6 +199,10 @@ class RankRuntime:
     def _rndv_send_rts(
         self, req: Request, payload: Any, src_space: MemSpace, dst_space: MemSpace
     ) -> None:
+        if self.world.config.reliable:
+            state = self._new_reliable(req, "rts", payload, src_space, dst_space)
+            self._transmit(state)
+            return
         dst_rt = self.world.ranks[req.peer]
         token = (req, payload, src_space, dst_space)
 
@@ -215,6 +251,12 @@ class RankRuntime:
         dst_space: MemSpace,
         recv_req: Request,
     ) -> None:
+        if self.world.config.reliable:
+            state = self._new_reliable(
+                send_req, "data", payload, src_space, dst_space, recv_req
+            )
+            self._transmit(state)
+            return
         dst_rt = self.world.ranks[send_req.peer]
 
         def on_data_complete(flow) -> None:
@@ -236,9 +278,188 @@ class RankRuntime:
         self._trace("send-done", f"-> {req.peer} tag={req.tag} {req.nbytes}B")
         req._complete(self.engine.now)
 
+    # -- reliable transport (config.reliable) ------------------------------------
+    #
+    # At-least-once delivery over a lossy data plane: every eager payload,
+    # RTS, and rendezvous data message carries a per-sender sequence number;
+    # the receiver acks each arrival (including duplicates) over the reliable
+    # control channel and the matcher suppresses redeliveries, so the MPI
+    # layer sees exactly-once semantics. A sender whose retry budget runs dry
+    # presumes the peer dead: it reports the peer to the failure detector and
+    # cancels the request.
+
+    def _reliable_eager_start(
+        self, req: Request, payload: Any, src_space: MemSpace, dst_space: MemSpace
+    ) -> None:
+        state = self._new_reliable(req, "eager", payload, src_space, dst_space)
+        self._transmit(state)
+        # Still a buffered send: local completion, delivery guaranteed by
+        # the transport underneath (or the peer declared failed).
+        req._complete(self.engine.now)
+
+    def _new_reliable(
+        self,
+        req: Request,
+        kind: str,
+        payload: Any,
+        src_space: MemSpace,
+        dst_space: MemSpace,
+        recv_req: Optional[Request] = None,
+    ) -> _ReliableSend:
+        self._send_seq += 1
+        state = _ReliableSend(
+            self._send_seq, req, kind, payload, src_space, dst_space, recv_req
+        )
+        self._reliable_pending[state.seq] = state
+        return state
+
+    def _transmit(self, state: _ReliableSend) -> None:
+        state.attempt += 1
+        self.transmissions += 1
+        if state.attempt > 1:
+            self.retransmits += 1
+            self._trace(
+                "retransmit",
+                f"-> {state.req.peer} tag={state.req.tag} seq={state.seq} "
+                f"attempt={state.attempt} ({state.kind})",
+            )
+        req = state.req
+        dst_rt = self.world.ranks[req.peer]
+        if state.kind == "rts":
+            token = (req, state.payload, state.src_space, state.dst_space)
+
+            def on_rts_arrival() -> None:
+                msg = InboundMessage(
+                    src=req.rank, tag=req.tag, nbytes=req.nbytes, eager=False,
+                    arrival_time=self.engine.now, rendezvous_token=token,
+                    seq=state.seq,
+                )
+                dst_rt._handle_arrival(msg)
+
+            # RTS rides the reliable control channel; the ack/retry loop here
+            # detects a dead receiver, not message loss.
+            self.world.fabric.start_control(
+                req.rank, req.peer, self.world.config.control_bytes, on_rts_arrival
+            )
+            wire_bytes = self.world.config.control_bytes
+        elif state.kind == "eager":
+
+            def on_eager_wire(flow) -> None:
+                msg = InboundMessage(
+                    src=req.rank, tag=req.tag, nbytes=req.nbytes, eager=True,
+                    data=state.payload, arrival_time=self.engine.now,
+                    seq=state.seq,
+                )
+                dst_rt._handle_arrival(msg)
+
+            self.world.fabric.start_transfer(
+                req.rank, req.peer, req.nbytes, on_eager_wire,
+                state.src_space, state.dst_space,
+                taginfo=("eager", req.rank, req.peer, req.tag),
+            )
+            wire_bytes = req.nbytes
+        else:  # "data"
+
+            def on_data_wire(flow) -> None:
+                dst_rt._rndv_data_wire(
+                    req.rank, state.seq, state.recv_req, state.payload
+                )
+
+            self.world.fabric.start_transfer(
+                req.rank, req.peer, req.nbytes, on_data_wire,
+                state.src_space, state.dst_space,
+                taginfo=("data", req.rank, req.peer, req.tag),
+            )
+            wire_bytes = req.nbytes
+        state.timer = self.engine.call_after(
+            self._retry_delay(state, wire_bytes), self._on_ack_timeout, state
+        )
+
+    def _retry_delay(self, state: _ReliableSend, wire_bytes: int) -> float:
+        """Retransmission timeout: RTO plus headroom for the transfer itself.
+
+        The 4x uncontended-transfer-time term keeps large segments on a
+        congested fabric from triggering spurious retransmissions; the
+        exponential backoff dominates once real loss is in play.
+        """
+        cfg = self.world.config
+        route = self.world.fabric.route(
+            self.rank, state.req.peer, state.src_space, state.dst_space
+        )
+        base = cfg.ack_timeout + 4.0 * route.uncontended_time(wire_bytes)
+        return base * (cfg.retry_backoff ** (state.attempt - 1))
+
+    def _on_ack_timeout(self, state: _ReliableSend) -> None:
+        if state.seq not in self._reliable_pending:
+            return  # acked while the timer was in flight
+        if state.attempt >= self.world.config.retry_limit:
+            del self._reliable_pending[state.seq]
+            self.sends_abandoned += 1
+            self._trace(
+                "send-abandon",
+                f"-> {state.req.peer} tag={state.req.tag} seq={state.seq} "
+                f"after {state.attempt} attempts",
+            )
+            detector = self.world.failure_detector
+            if detector is not None:
+                detector.suspect(
+                    state.req.peer,
+                    reason=f"rank {self.rank}: no ack after {state.attempt} attempts",
+                )
+            state.req.cancel()
+            return
+        self._transmit(state)
+
+    def _send_ack(self, dst: int, seq: int) -> None:
+        """Receiver side: confirm delivery of ``seq`` back to the sender."""
+        self.acks_sent += 1
+        sender_rt = self.world.ranks[dst]
+        self.world.fabric.start_control(
+            self.rank, dst, self.world.config.control_bytes,
+            lambda: sender_rt._on_ack_wire(seq),
+        )
+
+    def _on_ack_wire(self, seq: int) -> None:
+        if not self.alive:
+            return
+        self.cpu.execute(self._o, self._process_ack, seq)
+
+    def _process_ack(self, seq: int) -> None:
+        state = self._reliable_pending.pop(seq, None)
+        if state is None:
+            return  # duplicate ack, or the send was already abandoned
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        if state.kind == "data":
+            # Rendezvous data: the sender's buffer is free only once the
+            # receiver confirmed delivery.
+            self._complete_send(state.req)
+
+    def _rndv_data_wire(
+        self, src: int, seq: int, recv_req: Request, payload: Any
+    ) -> None:
+        """Reliable rendezvous data reached this rank (wire event)."""
+        if not self.alive:
+            self.msgs_lost_dead += 1
+            return
+        self.cpu.execute(self._o, self._rndv_data_arrived, src, seq, recv_req, payload)
+
+    def _rndv_data_arrived(
+        self, src: int, seq: int, recv_req: Request, payload: Any
+    ) -> None:
+        fresh = self.matcher.register_seq(src, seq)
+        self._send_ack(src, seq)
+        if not fresh:
+            self._trace("dup-suppressed", f"<- {src} data seq={seq}")
+            return
+        self._deliver(recv_req, payload)
+
     # -- receiver-side handlers -------------------------------------------------------
 
     def _post_recv(self, req: Request) -> None:
+        if req.completed:
+            return  # cancelled before the CPU got to the posting
         msg = self.matcher.post_recv(req)
         if msg is None:
             return
@@ -252,9 +473,24 @@ class RankRuntime:
 
     def _handle_arrival(self, msg: InboundMessage) -> None:
         """An eager payload or RTS reached this rank (wire event)."""
+        if not self.alive:
+            if msg.seq is not None:
+                self.msgs_lost_dead += 1
+            return
         self.cpu.execute(self._o, self._match_arrival, msg)
 
     def _match_arrival(self, msg: InboundMessage) -> None:
+        if msg.seq is not None:
+            # Reliable transport: ack every arrival (the sender's copy of a
+            # duplicated or retransmitted message still needs silencing),
+            # deliver each sequence number at most once.
+            fresh = self.matcher.register_seq(msg.src, msg.seq)
+            self._send_ack(msg.src, msg.seq)
+            if not fresh:
+                self._trace(
+                    "dup-suppressed", f"<- {msg.src} tag={msg.tag} seq={msg.seq}"
+                )
+                return
         req = self.matcher.arrive(msg)
         if req is None:
             if msg.eager:
@@ -266,8 +502,26 @@ class RankRuntime:
             self._rndv_send_cts(msg, req)
 
     def _deliver(self, req: Request, payload: Any) -> None:
+        if req.completed:
+            # A late redelivery of a cancelled (or raced) receive: drop it.
+            self._trace("stale-deliver", f"<- {req.peer} tag={req.tag}")
+            return
         self._trace("recv-done", f"<- {req.peer} tag={req.tag} {req.nbytes}B")
         req._complete(self.engine.now, data=payload)
+
+    def cancel_recv(self, req: Request) -> bool:
+        """Withdraw a posted receive (fault recovery). True if cancelled.
+
+        Works whether the posting is still queued on the CPU (``_post_recv``
+        then skips it) or already in the matcher (removed from the posted
+        queue). A receive already matched to an in-flight rendezvous has
+        completed or will strand on its own; it cannot be withdrawn.
+        """
+        if req.completed:
+            return False
+        self.matcher.cancel_recv(req)
+        req.cancel()
+        return True
 
     # -- local compute ------------------------------------------------------------------
 
@@ -348,7 +602,22 @@ class MpiWorld:
             self.sanitizer = Sanitizer(self)
         self.ranks = [RankRuntime(self, r) for r in range(nranks)]
         self.fabric.network.sanitizer = self.sanitizer
+        # Fault tolerance: a repro.faults.FailureDetector may attach here;
+        # fail-stopped ranks accumulate in failed_ranks (see kill_rank).
+        # Subscriptions made before a detector exists are buffered and
+        # adopted by the detector at construction, so collectives may launch
+        # before or after the fault injector is armed.
+        self.failure_detector = None
+        self._failure_subscribers: list = []
+        self.failed_ranks: set[int] = set()
         self._next_tag = 0
+
+    def subscribe_failures(self, fn, cpu=None) -> None:
+        """Register a failure callback, detector present or not (yet)."""
+        if self.failure_detector is not None:
+            self.failure_detector.subscribe(fn, cpu=cpu)
+        else:
+            self._failure_subscribers.append((fn, cpu))
 
     def allocate_tags(self, count: int) -> int:
         """Reserve a contiguous tag range (collectives namespace segments)."""
@@ -366,6 +635,45 @@ class MpiWorld:
     def inject_noise(self, rank: int, duration: float) -> None:
         """Inject one noise interval into ``rank``'s CPU, starting now."""
         self.ranks[rank].cpu.inject_noise(duration)
+
+    def kill_rank(self, rank: int) -> None:
+        """Fail-stop ``rank``: its CPU halts, pending work is dropped.
+
+        Messages already on the wire still drain (the network does not know
+        the process died) but are discarded on arrival. Detection reaches the
+        survivors only through the failure detector's delay, or a reliable
+        sender's exhausted retry budget — never instantly.
+        """
+        rt = self.ranks[rank]
+        if not rt.alive:
+            return
+        rt._trace("killed", "fail-stop")
+        rt.alive = False
+        rt.cpu.halt()
+        self.failed_ranks.add(rank)
+        # The crashed process's in-flight sends will never be acked by
+        # anyone on its behalf; its own pending transport state dies with it.
+        for state in rt._reliable_pending.values():
+            if state.timer is not None:
+                state.timer.cancel()
+            state.req.cancel()
+        rt._reliable_pending.clear()
+
+    def transport_stats(self) -> dict[str, int]:
+        """Aggregate reliable-transport counters across ranks."""
+        return {
+            "transmissions": sum(rt.transmissions for rt in self.ranks),
+            "retransmits": sum(rt.retransmits for rt in self.ranks),
+            "acks_sent": sum(rt.acks_sent for rt in self.ranks),
+            "sends_abandoned": sum(rt.sends_abandoned for rt in self.ranks),
+            "msgs_lost_dead": sum(rt.msgs_lost_dead for rt in self.ranks),
+            "duplicates_suppressed": sum(
+                rt.matcher.duplicates_suppressed for rt in self.ranks
+            ),
+            "fresh_deliveries": sum(
+                rt.matcher.fresh_deliveries() for rt in self.ranks
+            ),
+        }
 
     def total_unexpected(self) -> int:
         return sum(rt.matcher.unexpected_eager_count for rt in self.ranks)

@@ -84,6 +84,10 @@ class Fabric:
         # ADAPT's in-flight window exploits.
         self._channel_busy: dict[tuple, bool] = {}
         self._channel_queue: dict[tuple, list] = {}
+        # Fault filter (repro.faults.FabricFaults): consulted per data-plane
+        # transfer when installed; may swallow a delivery (message drop) or
+        # request a duplicate copy. None costs one test per transfer.
+        self.faults = None
 
     # -- link inventory ------------------------------------------------------
 
@@ -290,7 +294,45 @@ class Fabric:
         transfers on the same (src, dst, spaces) channel; ``ordered=False``
         (control plane) goes immediately. Returns the flow, or None if the
         transfer was queued behind channel predecessors.
+
+        An installed fault filter sees every transfer that carries
+        ``taginfo`` (MPI data plane; staging copies pass None and are
+        exempt). The filter wraps ``on_complete`` *before* channel chaining,
+        so a dropped message still releases its in-order channel.
         """
+        if self.faults is not None and taginfo is not None:
+            on_complete, dup_cb = self.faults.intercept(
+                src, dst, nbytes, taginfo, on_complete
+            )
+            if dup_cb is not None:
+                flow = self._start_one(
+                    src, dst, nbytes, on_complete, src_space, dst_space,
+                    extra_latency, taginfo, ordered,
+                )
+                # The duplicate rides the same channel right behind the
+                # original; the receiver's sequence check suppresses it.
+                self._start_one(
+                    src, dst, nbytes, dup_cb, src_space, dst_space,
+                    extra_latency, taginfo, ordered,
+                )
+                return flow
+        return self._start_one(
+            src, dst, nbytes, on_complete, src_space, dst_space,
+            extra_latency, taginfo, ordered,
+        )
+
+    def _start_one(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_complete: Callable[[Flow], None],
+        src_space: MemSpace,
+        dst_space: MemSpace,
+        extra_latency: float,
+        taginfo,
+        ordered: bool,
+    ) -> Optional[Flow]:
         if not ordered:
             return self._launch(src, dst, nbytes, on_complete, src_space, dst_space,
                                 extra_latency, taginfo)

@@ -114,6 +114,22 @@ class FairShareNetwork:
             self._activate(flow)
         return flow
 
+    def refresh(self, links: Sequence[Link]) -> None:
+        """Recompute rates after an external capacity change (link flap).
+
+        Rates normally change only when the flow set changes; a bandwidth
+        flap (repro.faults) changes ``Link.capacity`` under live flows, so
+        each affected connected component must be rebalanced once.
+        """
+        seen: set[Flow] = set()
+        for link in links:
+            for flow in list(link.flows):
+                if flow in seen or flow.done:
+                    continue
+                comp_flows, _ = self._component(flow)
+                seen.update(comp_flows)
+                self._rebalance(flow)
+
     # -- internals ----------------------------------------------------------
 
     def _activate(self, flow: Flow) -> None:

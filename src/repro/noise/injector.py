@@ -49,6 +49,11 @@ class NoiseInjector:
         self.frequency_hz = frequency_hz
         self.max_duration = noise_profile(percent, frequency_hz)
         self.ranks = list(ranks) if ranks is not None else list(range(world.nranks))
+        for r in self.ranks:
+            if not 0 <= r < world.nranks:
+                raise ValueError(
+                    f"noise rank {r} outside [0, {world.nranks})"
+                )
         self.rng = np.random.default_rng(seed)
         # Independent phase per rank, fixed for the injector's lifetime.
         self._phase = {

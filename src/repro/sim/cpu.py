@@ -31,6 +31,7 @@ class Cpu:
         "busy_time",
         "noise_time",
         "work_items",
+        "halted",
     )
 
     def __init__(self, engine: Engine, name: str = "cpu"):
@@ -40,6 +41,7 @@ class Cpu:
         self.busy_time = 0.0  # total seconds of real work executed
         self.noise_time = 0.0  # total seconds of injected noise
         self.work_items = 0
+        self.halted = False  # fail-stopped: queued and future work is dropped
 
     @property
     def busy_until(self) -> float:
@@ -62,14 +64,33 @@ class Cpu:
         """
         if duration < 0:
             raise ValueError(f"negative work duration {duration}")
+        if self.halted:
+            # A fail-stopped rank executes nothing; callers see time stand
+            # still and completion callbacks simply never fire.
+            return self._busy_until
         start = self.available_at()
         end = start + duration
         self._busy_until = end
         self.busy_time += duration
         self.work_items += 1
         if fn is not None:
-            self.engine.call_at(end, fn, *args)
+            # Dispatch through the halt gate: work queued before a fail-stop
+            # whose completion lands after it must not run.
+            self.engine.call_at(end, self._dispatch, fn, args)
         return end
+
+    def _dispatch(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self.halted:
+            return
+        fn(*args)
+
+    def halt(self) -> None:
+        """Fail-stop this CPU: drop queued work and refuse new work.
+
+        Models a crashed process: events already scheduled on the engine for
+        this CPU are silently discarded when they fire.
+        """
+        self.halted = True
 
     def when_available(self, fn: Callable[..., Any], *args: Any) -> float:
         """Run ``fn`` as soon as the CPU is free (zero-duration work item)."""

@@ -1,0 +1,483 @@
+"""Fault-injection layer: determinism, reliability, degraded collectives.
+
+End-to-end tests of ``repro.faults`` (DESIGN.md §17) in **data mode** with
+the runtime sanitizer on wherever a run is expected to drain cleanly:
+
+* identical fault plans (same seed) replay byte-identical fault timelines;
+* with the reliable transport, ADAPT collectives are bit-correct over a
+  fabric that drops and duplicates messages, and the sanitizer's
+  conservation check accounts for every wire attempt;
+* a fail-stopped rank is detected and ADAPT routes around it — broadcast
+  adopts the orphans, reduce drops the dead subtree — while blocking and
+  Waitall-style schedules hang forever;
+* bandwidth flaps and stalls slow a run down without breaking it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allgather_adapt,
+    allreduce_adapt,
+    barrier_adapt,
+    bcast_adapt,
+    bcast_blocking,
+    bcast_nonblocking,
+    gather_adapt,
+    reduce_adapt,
+    reduce_scatter_adapt,
+    scatter_adapt,
+)
+from repro.collectives.base import CollectiveContext
+from repro.config import CollectiveConfig, RuntimeConfig
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FlapSpec,
+    KillSpec,
+    LossSpec,
+    StallSpec,
+)
+from repro.machine import small_test_machine
+from repro.mpi import SUM, Communicator, MpiWorld
+from repro.noise import NoiseInjector
+from repro.trees import topology_aware_tree
+
+SMALL_CONFIG = CollectiveConfig(segment_size=4 * 1024, inflight_sends=2, posted_recvs=3)
+NBYTES = 64 * 1024
+
+
+def make_world(nranks=24, reliable=False, **kw):
+    spec = small_test_machine()  # 3 nodes x 2 sockets x 4 cores = 24 slots
+    kw.setdefault("sanitize", True)
+    kw.setdefault("config", RuntimeConfig(reliable=reliable))
+    return MpiWorld(spec, nranks, carry_data=True, **kw)
+
+
+def bcast_payload(nbytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+
+
+def reduce_payloads(nranks, nbytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        r: rng.integers(0, 50, size=nbytes, dtype=np.uint8) for r in range(nranks)
+    }
+
+
+def expected_reduce(data, ranks=None, op=SUM):
+    acc = None
+    for r in sorted(data) if ranks is None else sorted(ranks):
+        acc = data[r].copy() if acc is None else op(acc, data[r])
+    return acc
+
+
+def launch_bcast(world, algo=bcast_adapt, root=0, nbytes=NBYTES):
+    comm = Communicator(world)
+    data = bcast_payload(nbytes)
+    tree = topology_aware_tree(world.topology, list(comm.ranks), root)
+    ctx = CollectiveContext(comm, root, nbytes, SMALL_CONFIG, tree=tree, data=data)
+    return algo(ctx), data, tree
+
+
+def launch_reduce(world, algo=reduce_adapt, root=0, nbytes=NBYTES):
+    comm = Communicator(world)
+    data = reduce_payloads(comm.size, nbytes)
+    tree = topology_aware_tree(world.topology, list(comm.ranks), root)
+    ctx = CollectiveContext(
+        comm, root, nbytes, SMALL_CONFIG, tree=tree, data=data, op=SUM
+    )
+    return algo(ctx), data, tree
+
+
+def run_with_faults(world, plan, horizon=0.05):
+    """Arm a plan's injector and drive the world to drain."""
+    injector = FaultInjector(world, plan)
+    injector.arm(horizon)
+    world.run()
+    return injector
+
+
+def bcast_elapsed(plan=None):
+    world = make_world(reliable=bool(plan and plan.losses))
+    handle, data, _ = launch_bcast(world)
+    if plan is None:
+        world.run()
+    else:
+        run_with_faults(world, plan)
+    assert handle.done
+    return handle.elapsed()
+
+
+# -- plan validation ----------------------------------------------------------
+
+
+class TestPlanValidation:
+    def test_drop_probability_range(self):
+        with pytest.raises(ValueError):
+            LossSpec(drop=1.5)
+        with pytest.raises(ValueError):
+            LossSpec(drop=-0.1)
+        with pytest.raises(ValueError):
+            LossSpec(duplicate=2.0)
+
+    def test_kill_time_nonnegative(self):
+        with pytest.raises(ValueError):
+            KillSpec(rank=1, time=-1.0)
+
+    def test_flap_factor_range(self):
+        with pytest.raises(ValueError):
+            FlapSpec(link="nic", factor=0.0, period=1e-3)
+        with pytest.raises(ValueError):
+            FlapSpec(link="nic", factor=1.5, period=1e-3)
+
+    def test_kill_rank_in_range(self):
+        world = make_world()
+        with pytest.raises(ValueError):
+            FaultInjector(world, FaultPlan(kills=[KillSpec(rank=99, time=1e-3)]))
+
+    def test_stall_rank_in_range(self):
+        world = make_world()
+        with pytest.raises(ValueError):
+            FaultInjector(
+                world, FaultPlan(stalls=[StallSpec(rank=-1, time=0.0, duration=1e-3)])
+            )
+
+    def test_noise_injector_rank_validation(self):
+        world = make_world()
+        with pytest.raises(ValueError):
+            NoiseInjector(world, 5.0, ranks=[0, world.nranks])
+        with pytest.raises(ValueError):
+            NoiseInjector(world, 5.0, ranks=[-1])
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def _lossy_kill_run(seed):
+    plan = FaultPlan(
+        losses=[LossSpec(drop=0.02, duplicate=0.01)],
+        kills=[KillSpec(rank=17, time=2e-4)],
+        seed=seed,
+        detect_delay=1e-4,
+    )
+    world = make_world(reliable=True)
+    handle, _, _ = launch_bcast(world, nbytes=128 * 1024)
+    injector = run_with_faults(world, plan)
+    counters = {
+        "dropped": injector.dropped,
+        "duplicated": injector.duplicated,
+        "kills_done": injector.kills_done,
+    }
+    return injector.timeline, counters, world.transport_stats(), handle.done
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_timelines(self):
+        t1, c1, s1, done1 = _lossy_kill_run(seed=5)
+        t2, c2, s2, done2 = _lossy_kill_run(seed=5)
+        assert t1 == t2  # byte-identical event timelines
+        assert c1 == c2
+        assert s1 == s2
+        assert done1 and done2
+
+    def test_different_seeds_diverge(self):
+        t1, _, _, _ = _lossy_kill_run(seed=5)
+        t2, _, _, _ = _lossy_kill_run(seed=6)
+        assert t1 != t2
+
+
+# -- lossy fabric + reliable transport ----------------------------------------
+
+
+class TestLossyFabric:
+    def test_bcast_bit_correct_under_drops(self):
+        world = make_world(reliable=True)
+        handle, data, _ = launch_bcast(world)
+        plan = FaultPlan(losses=[LossSpec(drop=0.02, duplicate=0.002)], seed=2)
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        assert injector.dropped > 0, "fabric never dropped anything"
+        stats = world.transport_stats()
+        assert stats["retransmits"] >= injector.dropped
+        for r in range(world.nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"rank {r} bytes corrupted by recovery",
+            )
+
+    def test_reduce_bit_correct_under_drops(self):
+        world = make_world(reliable=True)
+        handle, data, _ = launch_reduce(world)
+        plan = FaultPlan(losses=[LossSpec(drop=0.02)], seed=2)
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        assert injector.dropped > 0
+        np.testing.assert_array_equal(
+            np.asarray(handle.output[0]).view(np.uint8), expected_reduce(data)
+        )
+
+    def test_duplicates_are_suppressed(self):
+        world = make_world(reliable=True)
+        handle, data, _ = launch_bcast(world)
+        plan = FaultPlan(losses=[LossSpec(drop=0.0, duplicate=0.2)], seed=3)
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        assert injector.duplicated > 0
+        stats = world.transport_stats()
+        assert stats["duplicates_suppressed"] == injector.duplicated
+        for r in range(world.nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data
+            )
+
+    def test_conservation_counters_balance(self):
+        # The sanitizer enforces this at drain; restate it explicitly so a
+        # regression names the broken counter instead of just raising.
+        world = make_world(reliable=True)
+        handle, _, _ = launch_bcast(world)
+        plan = FaultPlan(losses=[LossSpec(drop=0.03, duplicate=0.01)], seed=4)
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        stats = world.transport_stats()
+        assert stats["transmissions"] + injector.duplicated == (
+            stats["fresh_deliveries"]
+            + stats["duplicates_suppressed"]
+            + stats["msgs_lost_dead"]
+            + injector.dropped
+        )
+
+    @pytest.mark.parametrize(
+        "name",
+        ["scatter", "gather", "allreduce", "barrier", "allgather", "reduce_scatter"],
+    )
+    def test_extension_collectives_bit_correct_under_drops(self, name):
+        # The Section 2.2.3 extension program must survive the same lossy
+        # fabric as bcast/reduce: drop 1% of data messages (plus a few
+        # duplicates) and demand byte-exact outputs with the sanitizer on.
+        world = make_world(reliable=True)
+        comm = Communicator(world)
+        n = comm.size
+        # scatter/gather move each rank's block exactly once, so give them
+        # bigger blocks (more segments on the wire) for drops to hit.
+        nbytes = n * (16384 if name in ("scatter", "gather") else 4096)
+        tree = topology_aware_tree(world.topology, list(comm.ranks), 0)
+        rng = np.random.default_rng(9)
+
+        def block_ranges():
+            base, rem = divmod(nbytes, n)
+            out, off = [], 0
+            for i in range(n):
+                ln = base + (1 if i < rem else 0)
+                out.append((off, ln))
+                off += ln
+            return out
+
+        def out(handle, r):
+            return np.asarray(handle.output[r]).view(np.uint8)
+
+        if name == "scatter":
+            data = rng.integers(0, 256, nbytes, dtype=np.uint8)
+            ctx = CollectiveContext(comm, 0, nbytes, SMALL_CONFIG, tree=tree, data=data)
+            handle = scatter_adapt(ctx)
+        elif name == "gather":
+            ranges = block_ranges()
+            data = {
+                r: rng.integers(0, 256, ranges[r][1], dtype=np.uint8)
+                for r in range(n)
+            }
+            ctx = CollectiveContext(comm, 0, nbytes, SMALL_CONFIG, tree=tree, data=data)
+            handle = gather_adapt(ctx)
+        elif name == "allreduce":
+            data = {r: rng.integers(0, 50, nbytes, dtype=np.uint8) for r in range(n)}
+            ctx = CollectiveContext(
+                comm, 0, nbytes, SMALL_CONFIG, tree=tree, data=data, op=SUM
+            )
+            handle = allreduce_adapt(ctx)
+        elif name == "barrier":
+            ctx = CollectiveContext(comm, 0, 0, SMALL_CONFIG, tree=tree)
+            handle = barrier_adapt(ctx)
+        elif name == "allgather":
+            ranges = block_ranges()
+            data = {
+                r: rng.integers(0, 256, ranges[r][1], dtype=np.uint8)
+                for r in range(n)
+            }
+            ctx = CollectiveContext(comm, 0, nbytes, SMALL_CONFIG, data=data)
+            handle = allgather_adapt(ctx)
+        else:  # reduce_scatter
+            data = {r: rng.integers(0, 40, nbytes, dtype=np.uint8) for r in range(n)}
+            ctx = CollectiveContext(comm, 0, nbytes, SMALL_CONFIG, data=data, op=SUM)
+            handle = reduce_scatter_adapt(ctx)
+
+        # Seed chosen so even the sparse collectives (scatter/gather move
+        # ~40 messages; expected drops at 1% is 0.4) see at least one drop.
+        plan = FaultPlan(losses=[LossSpec(drop=0.01, duplicate=0.001)], seed=13)
+        injector = run_with_faults(world, plan)
+        assert handle.done, f"{name}_adapt never completed under a lossy fabric"
+        if name != "barrier":  # a 0-byte barrier may see too few messages to drop
+            assert injector.dropped > 0, "fabric never dropped anything"
+
+        if name == "scatter":
+            for r, (off, ln) in enumerate(block_ranges()):
+                np.testing.assert_array_equal(
+                    out(handle, r), data[off : off + ln], err_msg=f"rank {r}"
+                )
+        elif name == "gather":
+            np.testing.assert_array_equal(
+                out(handle, 0), np.concatenate([data[r] for r in range(n)])
+            )
+        elif name == "allreduce":
+            expected = expected_reduce(data)
+            for r in range(n):
+                np.testing.assert_array_equal(
+                    out(handle, r), expected, err_msg=f"rank {r}"
+                )
+        elif name == "allgather":
+            expected = np.concatenate([data[r] for r in range(n)])
+            for r in range(n):
+                np.testing.assert_array_equal(
+                    out(handle, r), expected, err_msg=f"rank {r}"
+                )
+        elif name == "reduce_scatter":
+            full = expected_reduce(data)
+            for r, (off, ln) in enumerate(block_ranges()):
+                np.testing.assert_array_equal(
+                    out(handle, r), full[off : off + ln], err_msg=f"rank {r}"
+                )
+
+
+# -- fail-stop + degraded collectives -----------------------------------------
+
+
+def _interior_victim(tree):
+    """A non-root rank that has children (so orphans exist to adopt)."""
+    return next(r for r in range(1, len(tree.children)) if tree.children[r])
+
+
+def _leaf_victim(tree):
+    return next(
+        r for r in range(len(tree.children) - 1, 0, -1) if not tree.children[r]
+    )
+
+
+class TestFailStop:
+    def test_adapt_bcast_routes_around_dead_interior_rank(self):
+        baseline = bcast_elapsed()
+        world = make_world()
+        handle, data, tree = launch_bcast(world)
+        victim = _interior_victim(tree)
+        plan = FaultPlan(
+            kills=[KillSpec(rank=victim, time=0.3 * baseline)], detect_delay=1e-4
+        )
+        run_with_faults(world, plan)
+        assert handle.done, "survivors did not complete around the dead rank"
+        assert victim in handle.excused
+        assert handle.report.degraded
+        assert victim in handle.report.failed_ranks
+        assert handle.report.adoptions, "no orphan was adopted"
+        for r in range(world.nranks):
+            if r == victim:
+                continue
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"survivor {r} got wrong bytes",
+            )
+
+    def test_adapt_reduce_drops_dead_subtree(self):
+        world = make_world()
+        handle, data, tree = launch_reduce(world)
+        victim = _leaf_victim(tree)
+        # Kill the leaf before it can contribute anything.
+        plan = FaultPlan(kills=[KillSpec(rank=victim, time=1e-6)], detect_delay=1e-4)
+        run_with_faults(world, plan)
+        assert handle.done
+        assert handle.report.degraded
+        out = np.asarray(handle.output[0]).view(np.uint8)
+        total = expected_reduce(data)
+        without_victim = expected_reduce(data, ranks=set(data) - {victim})
+        # The dead leaf's contribution is lost segment by segment: a segment
+        # it had already pushed out before the kill is folded in, the rest
+        # are skipped. Every segment must match one of the two sums exactly.
+        seg = SMALL_CONFIG.segment_size
+        lost = 0
+        for s in range(0, NBYTES, seg):
+            got = out[s:s + seg]
+            if np.array_equal(got, without_victim[s:s + seg]):
+                lost += 1
+            else:
+                np.testing.assert_array_equal(
+                    got, total[s:s + seg],
+                    err_msg=f"segment at {s} matches neither sum",
+                )
+        assert lost > 0, "victim killed at t=1us still contributed everything"
+
+    @pytest.mark.parametrize("algo", [bcast_blocking, bcast_nonblocking])
+    def test_blocking_schedules_hang_forever(self, algo):
+        baseline = bcast_elapsed()
+        # sanitize=False: the hang legitimately strands live-rank requests.
+        world = make_world(sanitize=False)
+        handle, _, tree = launch_bcast(world, algo=algo)
+        victim = _interior_victim(tree)
+        plan = FaultPlan(
+            kills=[KillSpec(rank=victim, time=0.3 * baseline)], detect_delay=1e-4
+        )
+        run_with_faults(world, plan)
+        # The world drained (nothing can make progress) yet the collective
+        # never completed: the blocking/Waitall schedule has no recovery.
+        assert not handle.done
+        assert len(handle.done_time) < world.nranks
+
+    def test_no_leaked_requests_after_crash(self):
+        # sanitize=True would raise at drain if the crash leaked any live
+        # request or unaccounted message; reaching this assert is the test.
+        world = make_world(reliable=True)
+        handle, _, tree = launch_bcast(world)
+        victim = _interior_victim(tree)
+        plan = FaultPlan(
+            losses=[LossSpec(drop=0.01)],
+            kills=[KillSpec(rank=victim, time=1e-4)],
+            seed=7,
+            detect_delay=1e-4,
+        )
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        assert injector.kills_done == 1
+        assert world.sanitizer.checks_run > 0
+
+
+# -- flaps and stalls ---------------------------------------------------------
+
+
+class TestDegradedFabric:
+    def test_flapping_nic_slows_but_completes(self):
+        clean = bcast_elapsed()
+        world = make_world()
+        handle, data, _ = launch_bcast(world)
+        plan = FaultPlan(
+            flaps=[FlapSpec(link="nic", factor=0.05, period=2e-5, duty=0.5)],
+            seed=1,
+        )
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        assert injector.flap_toggles > 0, "no flap ever landed on a link"
+        assert any(kind == "flap" for _, kind, _ in injector.timeline)
+        assert handle.elapsed() > clean
+        for r in range(world.nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data
+            )
+
+    def test_stall_delays_completion(self):
+        clean = bcast_elapsed()
+        world = make_world()
+        handle, _, tree = launch_bcast(world)
+        victim = _interior_victim(tree)
+        plan = FaultPlan(
+            stalls=[StallSpec(rank=victim, time=0.2 * clean, duration=5e-3)]
+        )
+        injector = run_with_faults(world, plan)
+        assert handle.done
+        assert injector.stalls_done == 1
+        assert handle.elapsed() > clean
