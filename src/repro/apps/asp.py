@@ -44,6 +44,21 @@ class AspResult:
     total_runtime: float
     compute_time: float
 
+    def to_dict(self) -> dict:
+        """JSON-able form (the parallel executor's wire/cache format)."""
+        return {
+            "library": self.library,
+            "nranks": self.nranks,
+            "iterations": self.iterations,
+            "row_bytes": self.row_bytes,
+            "total_runtime": self.total_runtime,
+            "compute_time": self.compute_time,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AspResult":
+        return cls(**d)
+
     @property
     def communication_time(self) -> float:
         return self.total_runtime - self.compute_time

@@ -2,9 +2,11 @@
 
 Usage (after installation)::
 
-    python -m repro fig9 --machine cori --operation bcast
-    python -m repro fig7 --machine stampede2 --scale small
+    python -m repro fig9 --machine cori --operation bcast --jobs 4
+    python -m repro fig7 --machine stampede2 --scale small --no-cache
     python -m repro table1
+    python -m repro bench --json BENCH_core.json
+    python -m repro profile --experiment fig9 --top 10
     python -m repro run --library OMPI-adapt --op reduce --nbytes 4194304 \
         --machine cori --nodes 4
     python -m repro tree --nodes 3 --sockets 2 --cores 4
@@ -14,6 +16,7 @@ Usage (after installation)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -44,6 +47,28 @@ def _add_scale(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
 
 
+def _add_parallel(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for the sweep "
+                   "(default: $REPRO_JOBS or 1; results are byte-identical "
+                   "at any worker count)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache "
+                   "($REPRO_CACHE_DIR or .repro-cache/)")
+
+
+def _parallel_kwargs(args) -> dict:
+    from repro.parallel import ResultCache
+
+    no_cache = getattr(args, "no_cache", False) or (
+        os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+    )
+    return {
+        "n_jobs": getattr(args, "jobs", None),
+        "cache": None if no_cache else ResultCache(),
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -55,11 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
     p7 = sub.add_parser("fig7", help="Figure 7: noise impact")
     p7.add_argument("--machine", default="cori", choices=["cori", "stampede2"])
     _add_scale(p7)
+    _add_parallel(p7)
 
     p8 = sub.add_parser("fig8", help="Figure 8: topology-aware algorithms")
     p8.add_argument("--machine", default="cori", choices=["cori", "stampede2"])
     p8.add_argument("--operation", default="bcast", choices=["bcast", "reduce"])
     _add_scale(p8)
+    _add_parallel(p8)
 
     p9 = sub.add_parser("fig9", help="Figure 9: end-to-end vs message size")
     p9.add_argument("--machine", default="cori", choices=["cori", "stampede2"])
@@ -67,22 +94,28 @@ def build_parser() -> argparse.ArgumentParser:
     p9.add_argument("--chart", action="store_true",
                     help="render an ASCII line chart under the table")
     _add_scale(p9)
+    _add_parallel(p9)
 
     p10 = sub.add_parser("fig10", help="Figure 10: strong scaling")
     _add_scale(p10)
+    _add_parallel(p10)
 
     p11a = sub.add_parser("fig11a", help="Figure 11a: GPU vs message size")
     _add_scale(p11a)
+    _add_parallel(p11a)
     p11b = sub.add_parser("fig11b", help="Figure 11b: GPU strong scaling")
     _add_scale(p11b)
+    _add_parallel(p11b)
 
     pt1 = sub.add_parser("table1", help="Table 1: ASP application")
     _add_scale(pt1)
+    _add_parallel(pt1)
 
     pfx = sub.add_parser(
         "figx", help="Figure X (ours): collectives on a faulty fabric"
     )
     _add_scale(pfx)
+    _add_parallel(pfx)
 
     prun = sub.add_parser("run", help="one ad-hoc collective measurement")
     prun.add_argument("--library", default="OMPI-adapt")
@@ -97,6 +130,53 @@ def build_parser() -> argparse.ArgumentParser:
                       help="noise duty-cycle percent on one mid-tree rank")
     prun.add_argument("--gpu", action="store_true")
     prun.add_argument("--seed", type=int, default=0)
+    _add_parallel(prun)
+
+    pbench = sub.add_parser(
+        "bench",
+        help="core performance benchmarks (engine, allocator, fig09 sweep)",
+        description="Measure engine events/sec, allocator rounds/sec "
+        "(optimized vs the pre-optimization reference), and fig09 "
+        "cells/sec; --json writes the BENCH_core.json artifact. "
+        "Benchmarks never use the result cache.",
+    )
+    pbench.add_argument("--scale", default=None,
+                        choices=["small", "medium", "paper"],
+                        help="bench sizing (default: $REPRO_BENCH_SCALE "
+                        "or small)")
+    pbench.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="also time the fig09 sweep through N worker "
+                        "processes and record the speedup")
+    pbench.add_argument("--json", nargs="?", const="BENCH_core.json",
+                        default=None, metavar="PATH",
+                        help="write results as JSON (default PATH: "
+                        "BENCH_core.json)")
+    pbench.add_argument("--section", action="append", default=None,
+                        choices=["engine", "allocator", "fig09"],
+                        help="run only these sections (repeatable)")
+
+    pprof = sub.add_parser(
+        "profile",
+        help="per-subsystem time breakdown of one run (cProfile)",
+        description="Profile one ad-hoc collective measurement — or a whole "
+        "experiment driver with --experiment — and print exclusive time "
+        "aggregated by repro subsystem (sim, network, collectives, ...).",
+    )
+    pprof.add_argument("--experiment", default=None,
+                       choices=["fig7", "fig8", "fig9", "fig10", "fig11a",
+                                "fig11b", "table1", "figx"],
+                       help="profile a whole experiment driver instead of "
+                       "one collective")
+    _add_scale(pprof)
+    pprof.add_argument("--library", default="OMPI-adapt")
+    pprof.add_argument("--op", dest="operation", default="bcast",
+                       choices=["bcast", "reduce"])
+    pprof.add_argument("--nbytes", type=int, default=4 << 20)
+    pprof.add_argument("--machine", default="cori", choices=sorted(_MACHINES))
+    pprof.add_argument("--nodes", type=int, default=None)
+    pprof.add_argument("--iterations", type=int, default=5)
+    pprof.add_argument("--top", type=int, default=0, metavar="N",
+                       help="also list the N hottest functions")
 
     pchaos = sub.add_parser(
         "chaos",
@@ -163,12 +243,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_experiment(args) -> str:
+    kw = _parallel_kwargs(args)
     if args.command == "fig7":
-        return fig07_noise.run(args.machine, args.scale).table()
+        return fig07_noise.run(args.machine, args.scale, **kw).table()
     if args.command == "fig8":
-        return fig08_topo.run(args.machine, args.scale, args.operation).table()
+        return fig08_topo.run(
+            args.machine, args.scale, args.operation, **kw
+        ).table()
     if args.command == "fig9":
-        res = fig09_msgsize.run(args.machine, args.scale, args.operation)
+        res = fig09_msgsize.run(args.machine, args.scale, args.operation, **kw)
         out = res.table()
         if getattr(args, "chart", False):
             from repro.harness.charts import experiment_line_chart
@@ -176,28 +259,78 @@ def _cmd_experiment(args) -> str:
             out += "\n\n" + experiment_line_chart(res)
         return out
     if args.command == "fig10":
-        return fig10_scaling.run(args.scale).table()
+        return fig10_scaling.run(args.scale, **kw).table()
     if args.command == "fig11a":
-        return fig11_gpu.run_msgsize(args.scale).table()
+        return fig11_gpu.run_msgsize(args.scale, **kw).table()
     if args.command == "fig11b":
-        return fig11_gpu.run_scaling(args.scale).table()
+        return fig11_gpu.run_scaling(args.scale, **kw).table()
     if args.command == "table1":
-        return table1_asp.run(args.scale).table()
+        return table1_asp.run(args.scale, **kw).table()
     if args.command == "figx":
-        return figx_faults.run(args.scale).table()
+        return figx_faults.run(args.scale, **kw).table()
     raise AssertionError  # pragma: no cover
 
 
 def _cmd_run(args) -> str:
+    from repro.parallel import SimJob, run_jobs
+
     spec = _machine(args.machine, args.nodes)
     nranks = args.nranks or (spec.total_gpus if args.gpu else spec.total_cores)
-    noisy = [nranks // 3] if args.noise > 0 else "per-node"
-    result = run_collective(
-        spec, nranks, args.library, args.operation, args.nbytes,
+    noisy = (nranks // 3,) if args.noise > 0 else "per-node"
+    job = SimJob(
+        machine=args.machine, nodes=args.nodes, nranks=nranks,
+        library=args.library, operation=args.operation, nbytes=args.nbytes,
         iterations=args.iterations, noise_percent=args.noise,
         noise_ranks=noisy, gpu=args.gpu, seed=args.seed,
     )
+    kw = _parallel_kwargs(args)
+    result = run_jobs([job], **kw)[0]
     return str(result)
+
+
+def _cmd_bench(args) -> str:
+    from repro.harness import bench
+
+    sections = tuple(args.section) if args.section else ("engine", "allocator", "fig09")
+    result = bench.run_core_bench(args.scale, args.jobs, sections=sections)
+    out = bench.render(result)
+    if args.json:
+        bench.write_json(result, args.json)
+        out += f"\nwrote {args.json}"
+    return out
+
+
+def _cmd_profile(args) -> str:
+    from repro.harness import profiling
+
+    if args.experiment:
+        # Profile the whole driver in-process (sequential, uncached — a
+        # process pool would hide the work from the profiler).
+        def target():
+            exp_args = argparse.Namespace(
+                command=args.experiment, machine=args.machine,
+                operation=args.operation, scale=args.scale, chart=False,
+                jobs=1, no_cache=True,
+            )
+            return _cmd_experiment(exp_args)
+
+        title = f"profile: {args.experiment} --scale {args.scale}"
+    else:
+        spec = _machine(args.machine, args.nodes)
+        nranks = spec.total_cores
+
+        def target():
+            return run_collective(
+                spec, nranks, args.library, args.operation, args.nbytes,
+                iterations=args.iterations,
+            )
+
+        title = (
+            f"profile: {args.operation} {args.library} {args.nbytes} B, "
+            f"{args.machine}, {nranks} ranks, {args.iterations} iterations"
+        )
+    _, stats = profiling.profile_call(target)
+    return profiling.render(stats, top=args.top, title=title)
 
 
 def _cmd_chaos(args) -> str:
@@ -319,6 +452,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_experiment(args))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "bench":
+        print(_cmd_bench(args))
+    elif args.command == "profile":
+        print(_cmd_profile(args))
     elif args.command == "chaos":
         print(_cmd_chaos(args))
     elif args.command == "lint":

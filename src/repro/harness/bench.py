@@ -1,0 +1,259 @@
+"""Core performance benchmarks behind ``repro bench`` (DESIGN.md §18).
+
+Three subsystems, three throughput numbers:
+
+* **engine** — raw discrete-event throughput (events/sec) on a synthetic
+  workload of interleaved self-rescheduling event chains with a cancelled
+  fraction, exercising the heap push/pop path and lazy cancellation.
+* **allocator** — max-min fair allocation rounds/sec on a dense component
+  (many flows with distinct rate caps over shared links, forcing many fill
+  rounds per call). Both the optimized :func:`maxmin_rates` and the pre-PR
+  :func:`maxmin_rates_reference` are timed so the speedup is recorded in
+  the output, not just claimed.
+* **fig09** — end-to-end experiment cells/sec for the Figure 9 sweep grid,
+  sequentially and (when ``--jobs`` > 1) through the process pool, with a
+  byte-identity check between the two result lists.
+
+``run_core_bench`` returns a plain dict; ``repro bench --json`` writes it
+as ``BENCH_core.json`` (the CI perf-smoke artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import time
+from typing import Any, Callable, Optional
+
+from repro import __version__
+from repro.network.fairshare import maxmin_rates, maxmin_rates_reference
+from repro.network.flows import Flow
+from repro.network.links import Link
+from repro.sim.engine import Engine
+
+#: Benchmark sizing per scale (events for the engine workload, timed
+#: allocator calls, repeated timing passes).
+_SIZES = {
+    "small": {"events": 200_000, "alloc_calls": 30, "repeats": 3},
+    "medium": {"events": 1_000_000, "alloc_calls": 100, "repeats": 5},
+    "paper": {"events": 4_000_000, "alloc_calls": 300, "repeats": 5},
+}
+
+#: The allocator scenario: enough flows with distinct caps that every call
+#: runs hundreds of fill rounds — the regime the heap variant targets.
+ALLOC_FLOWS = 512
+ALLOC_LINKS = 32
+
+
+def default_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in _SIZES:
+        raise ValueError(
+            f"unknown bench scale {scale!r}; choose from {sorted(_SIZES)}"
+        )
+    return scale
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best (minimum) wall time of ``repeats`` runs — the standard defence
+    against scheduler noise on a shared machine."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- engine ----------------------------------------------------------------
+
+
+def _engine_workload(n_events: int) -> Engine:
+    """Interleaved event chains plus a cancelled fraction.
+
+    64 chains each reschedule themselves with slightly different periods, so
+    the heap stays mixed (no degenerate FIFO order); every 8th event also
+    schedules-and-cancels a decoy to exercise lazy cancellation.
+    """
+    eng = Engine()
+    nchains = 64
+    per_chain = n_events // nchains
+
+    def tick(chain: int, remaining: int) -> None:
+        if remaining <= 0:
+            return
+        h = eng.call_after(2e-6, tick, chain, 0)  # decoy
+        if remaining % 8:
+            h.cancel()
+        eng.call_after(1e-6 * (1 + chain % 7), tick, chain, remaining - 1)
+
+    for chain in range(nchains):
+        eng.call_at(1e-9 * chain, tick, chain, per_chain)
+    eng.run()
+    return eng
+
+
+def bench_engine(scale: str) -> dict:
+    sizes = _SIZES[scale]
+    n_events = sizes["events"]
+    counts: list[int] = []
+    seconds = _best_of(
+        lambda: counts.append(_engine_workload(n_events).events_processed),
+        sizes["repeats"],
+    )
+    processed = counts[0]  # deterministic workload: every pass is identical
+    return {
+        "workload": "64 interleaved chains, 1-in-8 cancelled decoys",
+        "events": processed,
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(processed / seconds),
+    }
+
+
+# -- allocator -------------------------------------------------------------
+
+
+def allocator_scenario(
+    nflows: int = ALLOC_FLOWS, nlinks: int = ALLOC_LINKS, seed: int = 7
+) -> tuple[list[Flow], list[Link]]:
+    """A dense, cap-diverse component: distinct per-flow caps force the
+    progressive filling to run many rounds per call."""
+    rng = random.Random(seed)
+    links = [Link(f"l{i}", 1e9 * (1 + i % 7)) for i in range(nlinks)]
+    flows = []
+    for fid in range(nflows):
+        path = rng.sample(links, rng.randint(1, min(4, nlinks)))
+        flows.append(Flow(fid, path, 1 << 20, 1e6 * (fid + 1), lambda _f: None))
+    return flows, links
+
+
+def bench_allocator(scale: str) -> dict:
+    sizes = _SIZES[scale]
+    calls = sizes["alloc_calls"]
+    flows, links = allocator_scenario()
+
+    def run_calls(fn: Callable) -> None:
+        for _ in range(calls):
+            fn(flows, links)
+
+    t_new = _best_of(lambda: run_calls(maxmin_rates), sizes["repeats"])
+    t_ref = _best_of(lambda: run_calls(maxmin_rates_reference), sizes["repeats"])
+    assert maxmin_rates(flows, links) == maxmin_rates_reference(flows, links)
+    return {
+        "scenario": f"{len(flows)} flows with distinct caps over {len(links)} links",
+        "calls": calls,
+        "rounds_per_sec": round(calls / t_new, 2),
+        "reference_rounds_per_sec": round(calls / t_ref, 2),
+        "speedup_vs_reference": round(t_ref / t_new, 3),
+    }
+
+
+# -- fig09 end-to-end ------------------------------------------------------
+
+
+def bench_fig09(scale: str, n_jobs: Optional[int] = None) -> dict:
+    from repro.harness.experiments import fig09_msgsize
+    from repro.parallel import run_jobs
+
+    cells = fig09_msgsize.jobs("cori", scale, "bcast")
+    t0 = time.perf_counter()
+    seq = run_jobs(cells, n_jobs=1, cache=None)
+    t_seq = time.perf_counter() - t0
+    out = {
+        "cells": len(cells),
+        "seconds_sequential": round(t_seq, 3),
+        "cells_per_sec_sequential": round(len(cells) / t_seq, 3),
+    }
+    if n_jobs is not None and n_jobs > 1:
+        t0 = time.perf_counter()
+        par = run_jobs(cells, n_jobs=n_jobs, cache=None)
+        t_par = time.perf_counter() - t0
+        out.update({
+            "jobs": n_jobs,
+            "seconds_parallel": round(t_par, 3),
+            "cells_per_sec_parallel": round(len(cells) / t_par, 3),
+            "parallel_speedup": round(t_seq / t_par, 3),
+            "parallel_identical": (
+                [r.to_dict() for r in seq] == [r.to_dict() for r in par]
+            ),
+        })
+    return out
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def run_core_bench(
+    scale: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    *,
+    sections: tuple[str, ...] = ("engine", "allocator", "fig09"),
+) -> dict:
+    """Run the core benchmark suite; the returned dict is BENCH_core.json."""
+    scale = scale or default_scale()
+    if scale not in _SIZES:
+        raise ValueError(
+            f"unknown bench scale {scale!r}; choose from {sorted(_SIZES)}"
+        )
+    out: dict[str, Any] = {
+        "benchmark": "BENCH_core",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "scale": scale,
+    }
+    if "engine" in sections:
+        out["engine"] = bench_engine(scale)
+    if "allocator" in sections:
+        out["allocator"] = bench_allocator(scale)
+    if "fig09" in sections:
+        out["fig09"] = bench_fig09(scale, n_jobs)
+    return out
+
+
+def render(result: dict) -> str:
+    """Human-readable summary of a ``run_core_bench`` dict."""
+    lines = [
+        f"BENCH_core  repro {result['repro_version']}  python "
+        f"{result['python']}  {result['cpu_count']} cpus  "
+        f"scale={result['scale']}",
+    ]
+    eng = result.get("engine")
+    if eng:
+        lines.append(
+            f"engine      {eng['events_per_sec']:>12,} events/sec   "
+            f"({eng['events']:,} events in {eng['seconds']:.3f}s)"
+        )
+    alloc = result.get("allocator")
+    if alloc:
+        lines.append(
+            f"allocator   {alloc['rounds_per_sec']:>12,.1f} rounds/sec   "
+            f"(reference {alloc['reference_rounds_per_sec']:,.1f}; "
+            f"speedup {alloc['speedup_vs_reference']:.2f}x)"
+        )
+    fig = result.get("fig09")
+    if fig:
+        lines.append(
+            f"fig09       {fig['cells_per_sec_sequential']:>12,.3f} cells/sec   "
+            f"({fig['cells']} cells in {fig['seconds_sequential']:.2f}s, "
+            f"sequential)"
+        )
+        if "cells_per_sec_parallel" in fig:
+            ident = "identical" if fig["parallel_identical"] else "MISMATCH"
+            lines.append(
+                f"            {fig['cells_per_sec_parallel']:>12,.3f} cells/sec   "
+                f"(--jobs {fig['jobs']}; speedup "
+                f"{fig['parallel_speedup']:.2f}x, results {ident})"
+            )
+    return "\n".join(lines)
+
+
+def write_json(result: dict, path: str) -> None:
+    dirname = os.path.dirname(path)
+    if dirname:
+        os.makedirs(dirname, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional, Sequence
 
 from repro.harness.report import format_table
 
@@ -19,6 +19,34 @@ SCALES = {
 def default_scale() -> str:
     """Bench scale, overridable via ``REPRO_BENCH_SCALE``."""
     return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def machine_nodes(machine: str, scale: str) -> int:
+    """Node count of ``machine`` at ``scale`` (SCALES column lookup)."""
+    try:
+        return SCALES[scale][f"{machine}_nodes"]
+    except KeyError:
+        raise ValueError(f"unknown machine {machine!r} or scale {scale!r}") from None
+
+
+def machine_spec(machine: str, scale: str):
+    """The :class:`MachineSpec` an experiment's jobs run on."""
+    from repro.machine import cori, psg_gpu, stampede2
+
+    factory = {"cori": cori, "stampede2": stampede2, "psg": psg_gpu}[machine]
+    return factory(machine_nodes(machine, scale))
+
+
+def sweep(jobs: Sequence, *, n_jobs: Optional[int] = None, cache=None) -> list:
+    """Run an experiment's job cells through the parallel executor.
+
+    Thin indirection so every driver shares one entry point (and tests can
+    monkeypatch it); results come back in job order — see
+    :func:`repro.parallel.run_jobs` for the determinism argument.
+    """
+    from repro.parallel import run_jobs
+
+    return run_jobs(jobs, n_jobs=n_jobs, cache=cache)
 
 
 @dataclass

@@ -26,10 +26,15 @@ large factor over ADAPT.
 from __future__ import annotations
 
 
-from repro.harness.experiments.common import SCALES, ExperimentResult
-from repro.harness.runner import run_collective
+from repro.harness.experiments.common import (
+    SCALES,
+    ExperimentResult,
+    machine_nodes,
+    sweep,
+)
 from repro.harness.report import slowdown_percent
 from repro.machine import cori, stampede2
+from repro.parallel import SimJob
 
 MSG = 4 << 20
 NOISE_LEVELS = (5.0, 10.0)
@@ -58,8 +63,39 @@ def libraries(machine: str) -> list[str]:
     return ["Intel MPI", "MVAPICH", "OMPI-default", "OMPI-adapt"]
 
 
-def run(machine: str = "cori", scale: str = "small") -> ExperimentResult:
+def _steady_mean(run) -> float:
+    # Drop the first interval (pipeline fill) so measurements with
+    # different iteration counts are comparable.
+    times = run.times[1:] if len(run.times) > 1 else run.times
+    return sum(times) / len(times)
+
+
+def _pairs(machine: str) -> list[tuple[str, str]]:
+    # The paper's MVAPICH reduce segfaults at 4 MB, hence the missing row.
+    return [
+        (operation, lib)
+        for operation in ("bcast", "reduce")
+        for lib in libraries(machine)
+        if not (operation == "reduce" and lib == "MVAPICH")
+    ]
+
+
+def run(
+    machine: str = "cori",
+    scale: str = "small",
+    *,
+    n_jobs: int | None = None,
+    cache=None,
+    msg: int = MSG,
+    max_iters: int = MAX_ITERS,
+    probe_iters: int = PROBE_ITERS,
+) -> ExperimentResult:
+    """Two-stage sweep: the calibration probes and noise-free baselines are
+    all independent (stage 1); the noisy measurements depend on each probe's
+    time — their event duration and frequency derive from it — so they form
+    a second fan-out (stage 2)."""
     spec = _machine(machine, scale)
+    nodes = machine_nodes(machine, scale)
     nranks = spec.total_cores
     noisy_rank = nranks // 3  # an intermediate rank in every topology
     result = ExperimentResult(
@@ -71,40 +107,42 @@ def run(machine: str = "cori", scale: str = "small") -> ExperimentResult:
             f"{DURATION_FACTOR}x the noise-free collective time, duty cycle as labelled",
         ],
     )
-    def steady_mean(run) -> float:
-        # Drop the first interval (pipeline fill) so measurements with
-        # different iteration counts are comparable.
-        times = run.times[1:] if len(run.times) > 1 else run.times
-        return sum(times) / len(times)
+    pairs = _pairs(machine)
 
-    for operation in ("bcast", "reduce"):
-        for lib in libraries(machine):
-            if operation == "reduce" and lib == "MVAPICH":
-                continue  # the paper's MVAPICH reduce segfaults at 4 MB
-            # Short probe sizes the noise events; the reported baseline then
-            # runs over the same iteration count as the noisy measurements,
-            # so deep-pipeline convergence effects cancel in the slowdown.
-            probe = steady_mean(
-                run_collective(
-                    spec, nranks, lib, operation, MSG, iterations=PROBE_ITERS, seed=1
-                )
-            )
-            base = steady_mean(
-                run_collective(
-                    spec, nranks, lib, operation, MSG, iterations=MAX_ITERS, seed=1
-                )
-            )
-            result.add(operation, lib, 0.0, round(base * 1e3, 3), 0.0)
-            max_duration = DURATION_FACTOR * probe
-            for noise in NOISE_LEVELS:
-                freq = (noise / 100.0) / (max_duration / 2.0)
-                r = run_collective(
-                    spec, nranks, lib, operation, MSG,
-                    iterations=MAX_ITERS, noise_percent=noise,
-                    noise_ranks=[noisy_rank], seed=int(noise) + 1,
-                    noise_frequency=freq,
-                )
-                slow = slowdown_percent(steady_mean(r), base)
-                result.add(operation, lib, noise, round(steady_mean(r) * 1e3, 3),
-                           round(slow, 1))
+    def cell(operation: str, lib: str, **kw) -> SimJob:
+        return SimJob(
+            machine=machine, nodes=nodes, library=lib, operation=operation,
+            nbytes=msg, seed=1, **kw,
+        )
+
+    # Stage 1: a short probe sizes the noise events; the reported baseline
+    # runs over the same iteration count as the noisy measurements, so
+    # deep-pipeline convergence effects cancel in the slowdown.
+    probe_jobs = [cell(op, lib, iterations=probe_iters) for op, lib in pairs]
+    base_jobs = [cell(op, lib, iterations=max_iters) for op, lib in pairs]
+    stage1 = sweep(probe_jobs + base_jobs, n_jobs=n_jobs, cache=cache)
+    probes, bases = stage1[: len(pairs)], stage1[len(pairs):]
+
+    # Stage 2: noisy measurements, parameterized by the probe results.
+    noisy_jobs = []
+    for (operation, lib), probe in zip(pairs, probes):
+        max_duration = DURATION_FACTOR * _steady_mean(probe)
+        for noise in NOISE_LEVELS:
+            freq = (noise / 100.0) / (max_duration / 2.0)
+            noisy_jobs.append(SimJob(
+                machine=machine, nodes=nodes, library=lib, operation=operation,
+                nbytes=msg, iterations=max_iters, noise_percent=noise,
+                noise_ranks=(noisy_rank,), seed=int(noise) + 1,
+                noise_frequency=freq,
+            ))
+    stage2 = iter(sweep(noisy_jobs, n_jobs=n_jobs, cache=cache))
+
+    for (operation, lib), base_run in zip(pairs, bases):
+        base = _steady_mean(base_run)
+        result.add(operation, lib, 0.0, round(base * 1e3, 3), 0.0)
+        for noise in NOISE_LEVELS:
+            r = next(stage2)
+            slow = slowdown_percent(_steady_mean(r), base)
+            result.add(operation, lib, noise, round(_steady_mean(r) * 1e3, 3),
+                       round(slow, 1))
     return result

@@ -15,16 +15,56 @@ does not.
 
 from __future__ import annotations
 
-from repro.harness.experiments.common import SCALES, ExperimentResult, fmt_bytes
-from repro.harness.runner import run_collective
+from repro.harness.experiments.common import (
+    SCALES,
+    ExperimentResult,
+    fmt_bytes,
+    machine_nodes,
+    machine_spec,
+    sweep,
+)
 from repro.libraries.presets import (
     intel_topo_bcast_variants,
     intel_topo_reduce_variants,
-    library_by_name,
 )
-from repro.machine import cori, stampede2
+from repro.parallel import SimJob
 
 SIZES = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20]
+
+
+def jobs(
+    machine: str = "cori",
+    scale: str = "small",
+    operation: str = "bcast",
+    sizes: list[int] | None = None,
+) -> list[SimJob]:
+    """The sweep grid as independent cells, in table-row order.
+
+    Intel's per-algorithm variants travel by *name* (family + variant);
+    the worker resolves the actual schedule function, so the cells stay
+    pure config.
+    """
+    nodes = machine_nodes(machine, scale)
+    iters = max(3, SCALES[scale]["iters"] // 4)
+    family = f"intel-topo-{operation}"
+    variants = (
+        intel_topo_bcast_variants() if operation == "bcast"
+        else intel_topo_reduce_variants()
+    )
+    cells = []
+    for nbytes in sizes or SIZES:
+        for name in variants:
+            cells.append(SimJob(
+                machine=machine, nodes=nodes, library="Intel MPI",
+                operation=operation, nbytes=nbytes, iterations=iters,
+                algo_family=family, algo_variant=name,
+            ))
+        for lib in ("OMPI-default-topo", "OMPI-adapt"):
+            cells.append(SimJob(
+                machine=machine, nodes=nodes, library=lib,
+                operation=operation, nbytes=nbytes, iterations=iters,
+            ))
+    return cells
 
 
 def run(
@@ -32,33 +72,18 @@ def run(
     scale: str = "small",
     operation: str = "bcast",
     sizes: list[int] | None = None,
+    *,
+    n_jobs: int | None = None,
+    cache=None,
 ) -> ExperimentResult:
-    cfg = SCALES[scale]
-    spec = cori(cfg["cori_nodes"]) if machine == "cori" else stampede2(cfg["stampede2_nodes"])
-    nranks = spec.total_cores
-    iters = max(3, cfg["iters"] // 4)
-    sizes = sizes or SIZES
+    nranks = machine_spec(machine, scale).total_cores
+    cells = jobs(machine, scale, operation, sizes)
     result = ExperimentResult(
         experiment="Figure 8" + ("a" if machine == "cori" else "b"),
         title=f"topology-aware {operation} vs message size, {machine}, {nranks} ranks",
         headers=["algorithm", "nbytes", "size", "mean_ms"],
     )
-    variants = (
-        intel_topo_bcast_variants() if operation == "bcast"
-        else intel_topo_reduce_variants()
-    )
-    intel = library_by_name("Intel MPI")
-    algos: list[tuple[str, object]] = [
-        (name, fn) for name, fn in variants.items()
-    ]
-    for nbytes in sizes:
-        for name, fn in algos:
-            r = run_collective(
-                spec, nranks, intel, operation, nbytes,
-                iterations=iters, custom_algorithm=fn,
-            )
-            result.add(name, nbytes, fmt_bytes(nbytes), round(r.mean_time * 1e3, 3))
-        for lib in ("OMPI-default-topo", "OMPI-adapt"):
-            r = run_collective(spec, nranks, lib, operation, nbytes, iterations=iters)
-            result.add(lib, nbytes, fmt_bytes(nbytes), round(r.mean_time * 1e3, 3))
+    for job, r in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
+        name = job.algo_variant if job.algo_variant is not None else job.library
+        result.add(name, job.nbytes, fmt_bytes(job.nbytes), round(r.mean_time * 1e3, 3))
     return result

@@ -14,9 +14,15 @@ does not.
 
 from __future__ import annotations
 
-from repro.harness.experiments.common import SCALES, ExperimentResult, fmt_bytes
-from repro.harness.runner import run_collective
-from repro.machine import cori, stampede2
+from repro.harness.experiments.common import (
+    SCALES,
+    ExperimentResult,
+    fmt_bytes,
+    machine_nodes,
+    machine_spec,
+    sweep,
+)
+from repro.parallel import SimJob
 
 SIZES = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20]
 
@@ -27,24 +33,48 @@ def libraries(machine: str) -> list[str]:
     return ["MVAPICH", "Intel MPI", "OMPI-default", "OMPI-adapt"]
 
 
+def jobs(
+    machine: str = "cori",
+    scale: str = "small",
+    operation: str = "bcast",
+    sizes: list[int] | None = None,
+) -> list[SimJob]:
+    """The sweep grid as independent cells, in table-row order."""
+    nodes = machine_nodes(machine, scale)
+    iters = max(3, SCALES[scale]["iters"] // 4)
+    return [
+        SimJob(
+            machine=machine,
+            nodes=nodes,
+            library=lib,
+            operation=operation,
+            nbytes=nbytes,
+            iterations=iters,
+        )
+        for nbytes in (sizes or SIZES)
+        for lib in libraries(machine)
+    ]
+
+
 def run(
     machine: str = "cori",
     scale: str = "small",
     operation: str = "bcast",
     sizes: list[int] | None = None,
+    *,
+    n_jobs: int | None = None,
+    cache=None,
 ) -> ExperimentResult:
-    cfg = SCALES[scale]
-    spec = cori(cfg["cori_nodes"]) if machine == "cori" else stampede2(cfg["stampede2_nodes"])
-    nranks = spec.total_cores
-    iters = max(3, cfg["iters"] // 4)
-    sizes = sizes or SIZES
+    cells = jobs(machine, scale, operation, sizes)
+    nranks = machine_spec(machine, scale).total_cores
     result = ExperimentResult(
         experiment="Figure 9" + ("a" if machine == "cori" else "b"),
         title=f"{operation} vs message size, {machine}, {nranks} ranks",
         headers=["library", "nbytes", "size", "mean_ms"],
     )
-    for nbytes in sizes:
-        for lib in libraries(machine):
-            r = run_collective(spec, nranks, lib, operation, nbytes, iterations=iters)
-            result.add(lib, nbytes, fmt_bytes(nbytes), round(r.mean_time * 1e3, 3))
+    for job, r in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
+        result.add(
+            job.library, job.nbytes, fmt_bytes(job.nbytes),
+            round(r.mean_time * 1e3, 3),
+        )
     return result

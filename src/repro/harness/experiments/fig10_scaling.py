@@ -11,9 +11,9 @@ does (near-flat), and at the largest scale ADAPT is fastest.
 
 from __future__ import annotations
 
-from repro.harness.experiments.common import SCALES, ExperimentResult
-from repro.harness.runner import run_collective
+from repro.harness.experiments.common import SCALES, ExperimentResult, sweep
 from repro.machine import cori
+from repro.parallel import SimJob
 
 MSG = 4 << 20
 LIBRARIES = ["Cray MPI", "Intel MPI", "OMPI-default", "OMPI-adapt"]
@@ -23,19 +23,41 @@ def node_counts(scale: str) -> list[int]:
     return {"small": [1, 2, 4], "medium": [2, 4, 8], "paper": [8, 16, 32]}[scale]
 
 
-def run(scale: str = "small", nodes: list[int] | None = None) -> ExperimentResult:
+def jobs(scale: str = "small", nodes: list[int] | None = None) -> list[SimJob]:
+    """The sweep grid as independent cells, in table-row order."""
     iters = max(3, SCALES[scale]["iters"] // 4)
+    return [
+        SimJob(
+            machine="cori",
+            nodes=n,
+            library=lib,
+            operation=operation,
+            nbytes=MSG,
+            iterations=iters,
+        )
+        for operation in ("bcast", "reduce")
+        for n in (nodes or node_counts(scale))
+        for lib in LIBRARIES
+    ]
+
+
+def run(
+    scale: str = "small",
+    nodes: list[int] | None = None,
+    *,
+    n_jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
     nodes = nodes or node_counts(scale)
+    cells = jobs(scale, nodes)
     result = ExperimentResult(
         experiment="Figure 10",
         title=f"strong scaling, cori, 4 MB, nodes {nodes}",
         headers=["operation", "library", "nodes", "nranks", "mean_ms"],
     )
-    for operation in ("bcast", "reduce"):
-        for n in nodes:
-            spec = cori(nodes=n)
-            nranks = spec.total_cores
-            for lib in LIBRARIES:
-                r = run_collective(spec, nranks, lib, operation, MSG, iterations=iters)
-                result.add(operation, lib, n, nranks, round(r.mean_time * 1e3, 3))
+    for job, r in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
+        result.add(
+            job.operation, job.library, job.nodes,
+            cori(nodes=job.nodes).total_cores, round(r.mean_time * 1e3, 3),
+        )
     return result

@@ -13,53 +13,91 @@ algorithm at one node.
 
 from __future__ import annotations
 
-from repro.harness.experiments.common import SCALES, ExperimentResult, fmt_bytes
-from repro.harness.runner import run_collective
+from repro.harness.experiments.common import SCALES, ExperimentResult, fmt_bytes, sweep
 from repro.machine import psg_gpu
+from repro.parallel import SimJob
 
 LIBRARIES = ["MVAPICH", "OMPI-default", "OMPI-adapt"]
 SIZES_A = [1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20]
 
 
-def run_msgsize(scale: str = "small", sizes: list[int] | None = None) -> ExperimentResult:
+def jobs_msgsize(scale: str = "small", sizes: list[int] | None = None) -> list[SimJob]:
     cfg = SCALES[scale]
-    spec = psg_gpu(nodes=cfg["psg_nodes"])
-    ngpus = spec.total_gpus
     iters = max(3, cfg["iters"] // 4)
     sizes = sizes or (SIZES_A if scale != "small" else SIZES_A[:4])
+    return [
+        SimJob(
+            machine="psg",
+            nodes=cfg["psg_nodes"],
+            library=lib,
+            operation=operation,
+            nbytes=nbytes,
+            iterations=iters,
+            gpu=True,
+        )
+        for operation in ("bcast", "reduce")
+        for nbytes in sizes
+        for lib in LIBRARIES
+    ]
+
+
+def run_msgsize(
+    scale: str = "small",
+    sizes: list[int] | None = None,
+    *,
+    n_jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
+    spec = psg_gpu(nodes=SCALES[scale]["psg_nodes"])
+    cells = jobs_msgsize(scale, sizes)
     result = ExperimentResult(
         experiment="Figure 11a",
-        title=f"GPU bcast/reduce vs message size, {spec.nodes} nodes ({ngpus} GPUs)",
+        title=f"GPU bcast/reduce vs message size, {spec.nodes} nodes ({spec.total_gpus} GPUs)",
         headers=["operation", "library", "nbytes", "size", "mean_ms"],
     )
-    for operation in ("bcast", "reduce"):
-        for nbytes in sizes:
-            for lib in LIBRARIES:
-                r = run_collective(
-                    spec, ngpus, lib, operation, nbytes, iterations=iters, gpu=True
-                )
-                result.add(operation, lib, nbytes, fmt_bytes(nbytes),
-                           round(r.mean_time * 1e3, 3))
+    for job, r in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
+        result.add(job.operation, job.library, job.nbytes, fmt_bytes(job.nbytes),
+                   round(r.mean_time * 1e3, 3))
     return result
 
 
-def run_scaling(scale: str = "small", nodes: list[int] | None = None) -> ExperimentResult:
+def jobs_scaling(scale: str = "small", nodes: list[int] | None = None) -> list[SimJob]:
     cfg = SCALES[scale]
     iters = max(3, cfg["iters"] // 4)
+    msg = 32 << 20 if scale != "small" else 8 << 20
+    return [
+        SimJob(
+            machine="psg",
+            nodes=n,
+            library=lib,
+            operation=operation,
+            nbytes=msg,
+            iterations=iters,
+            gpu=True,
+        )
+        for operation in ("bcast", "reduce")
+        for n in (nodes or list(range(1, cfg["psg_nodes"] + 1)))
+        for lib in LIBRARIES
+    ]
+
+
+def run_scaling(
+    scale: str = "small",
+    nodes: list[int] | None = None,
+    *,
+    n_jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
+    cfg = SCALES[scale]
     nodes = nodes or list(range(1, cfg["psg_nodes"] + 1))
     msg = 32 << 20 if scale != "small" else 8 << 20
+    cells = jobs_scaling(scale, nodes)
     result = ExperimentResult(
         experiment="Figure 11b",
         title=f"GPU strong scaling, {msg >> 20} MB, nodes {nodes}",
         headers=["operation", "library", "nodes", "ngpus", "mean_ms"],
     )
-    for operation in ("bcast", "reduce"):
-        for n in nodes:
-            spec = psg_gpu(nodes=n)
-            ngpus = spec.total_gpus
-            for lib in LIBRARIES:
-                r = run_collective(
-                    spec, ngpus, lib, operation, msg, iterations=iters, gpu=True
-                )
-                result.add(operation, lib, n, ngpus, round(r.mean_time * 1e3, 3))
+    for job, r in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
+        result.add(job.operation, job.library, job.nodes,
+                   psg_gpu(nodes=job.nodes).total_gpus, round(r.mean_time * 1e3, 3))
     return result

@@ -30,10 +30,15 @@ from __future__ import annotations
 import math
 
 from repro.faults import FaultPlan, KillSpec, LossSpec
-from repro.harness.experiments.common import SCALES, ExperimentResult, fmt_bytes
-from repro.harness.runner import run_collective
+from repro.harness.experiments.common import (
+    SCALES,
+    ExperimentResult,
+    fmt_bytes,
+    sweep,
+)
 from repro.harness.report import slowdown_percent
 from repro.machine import cori
+from repro.parallel import SimJob
 
 MSG = 512 << 10
 DROP_RATES = (0.0, 0.005, 0.01, 0.02)
@@ -47,10 +52,21 @@ def fault_label(drop: float) -> str:
     return "none" if drop == 0 else f"drop {drop * 100:g}%"
 
 
-def run(scale: str = "small") -> ExperimentResult:
+def run(
+    scale: str = "small",
+    *,
+    n_jobs: int | None = None,
+    cache=None,
+    operations: tuple[str, ...] = ("bcast", "reduce"),
+    drops: tuple[float, ...] = DROP_RATES,
+) -> ExperimentResult:
+    """Two-stage sweep: the loss-sweep cells and the fault-free kill probes
+    are all independent (stage 1); each kill cell's fail-stop time derives
+    from its probe, so the kill runs form a second fan-out (stage 2)."""
     cfg = SCALES[scale]
     spec = cori(nodes=cfg["cori_nodes"])
     nranks = spec.total_cores
+    nodes = cfg["cori_nodes"]
     victim = nranks // 3  # an interior, non-root rank in every topology
     result = ExperimentResult(
         experiment="Figure X",
@@ -71,49 +87,71 @@ def run(scale: str = "small") -> ExperimentResult:
             return "hung"
         return "degraded" if r.degraded else "ok"
 
-    for operation in ("bcast", "reduce"):
-        for lib in LIBRARIES:
-            base = None
-            for drop in DROP_RATES:
-                # One seed across the sweep: the drop decisions at a higher
-                # rate are a superset of the lower rate's (same uniform
-                # stream), so retransmit counts grow with the rate.
-                plan = FaultPlan(
-                    losses=[LossSpec(drop=drop, duplicate=drop / 10)], seed=2
-                )
-                r = run_collective(
-                    spec, nranks, lib, operation, MSG,
-                    iterations=ITERS, seed=1, fault_plan=plan,
-                )
-                mean = r.mean_time
-                if base is None:
-                    base = mean
-                slow = slowdown_percent(mean, base) if math.isfinite(mean) else float("inf")
-                result.add(
-                    operation, lib, fault_label(drop),
-                    round(mean * 1e3, 3), round(slow, 1),
-                    r.transport.get("retransmits", 0), status(r),
-                )
-            # Fail-stop: single-shot latency, kill mid-collective.
-            probe = run_collective(
-                spec, nranks, lib, operation, MSG,
-                iterations=1, mode="sequential", seed=1,
-            )
-            kill_at = KILL_FRACTION * probe.mean_time
-            plan = FaultPlan(kills=[KillSpec(rank=victim, time=kill_at)], seed=3)
-            r = run_collective(
-                spec, nranks, lib, operation, MSG,
-                iterations=1, mode="sequential", seed=1, fault_plan=plan,
-            )
+    pairs = [(op, lib) for op in operations for lib in LIBRARIES]
+
+    # Stage 1: the loss sweep (one seed across the sweep: the drop decisions
+    # at a higher rate are a superset of the lower rate's — same uniform
+    # stream — so retransmit counts grow with the rate) plus the fault-free
+    # single-shot probes that calibrate each kill time.
+    loss_jobs = [
+        SimJob(
+            machine="cori", nodes=nodes, library=lib, operation=op,
+            nbytes=MSG, iterations=ITERS, seed=1,
+            fault_plan=FaultPlan(
+                losses=[LossSpec(drop=drop, duplicate=drop / 10)], seed=2
+            ),
+        )
+        for op, lib in pairs
+        for drop in drops
+    ]
+    probe_jobs = [
+        SimJob(
+            machine="cori", nodes=nodes, library=lib, operation=op,
+            nbytes=MSG, iterations=1, mode="sequential", seed=1,
+        )
+        for op, lib in pairs
+    ]
+    stage1 = sweep(loss_jobs + probe_jobs, n_jobs=n_jobs, cache=cache)
+    loss_runs = stage1[: len(loss_jobs)]
+    probes = stage1[len(loss_jobs):]
+
+    # Stage 2: fail-stop mid-collective, timed off each probe.
+    kill_jobs = [
+        SimJob(
+            machine="cori", nodes=nodes, library=lib, operation=op,
+            nbytes=MSG, iterations=1, mode="sequential", seed=1,
+            fault_plan=FaultPlan(
+                kills=[KillSpec(rank=victim, time=KILL_FRACTION * probe.mean_time)],
+                seed=3,
+            ),
+        )
+        for (op, lib), probe in zip(pairs, probes)
+    ]
+    kill_runs = sweep(kill_jobs, n_jobs=n_jobs, cache=cache)
+
+    loss_iter = iter(loss_runs)
+    for (operation, lib), probe, kill_run in zip(pairs, probes, kill_runs):
+        base = None
+        for drop in drops:
+            r = next(loss_iter)
             mean = r.mean_time
-            slow = (
-                slowdown_percent(mean, probe.mean_time)
-                if math.isfinite(mean) else float("inf")
-            )
+            if base is None:
+                base = mean
+            slow = slowdown_percent(mean, base) if math.isfinite(mean) else float("inf")
             result.add(
-                operation, lib, f"kill rank {victim}",
-                round(mean * 1e3, 3) if math.isfinite(mean) else float("inf"),
-                round(slow, 1) if math.isfinite(slow) else float("inf"),
+                operation, lib, fault_label(drop),
+                round(mean * 1e3, 3), round(slow, 1),
                 r.transport.get("retransmits", 0), status(r),
             )
+        mean = kill_run.mean_time
+        slow = (
+            slowdown_percent(mean, probe.mean_time)
+            if math.isfinite(mean) else float("inf")
+        )
+        result.add(
+            operation, lib, f"kill rank {victim}",
+            round(mean * 1e3, 3) if math.isfinite(mean) else float("inf"),
+            round(slow, 1) if math.isfinite(slow) else float("inf"),
+            kill_run.transport.get("retransmits", 0), status(kill_run),
+        )
     return result

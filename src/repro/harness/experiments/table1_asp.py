@@ -14,28 +14,47 @@ reproduced quantity is the per-library communication share and ordering.
 
 from __future__ import annotations
 
-from repro.apps.asp import run_asp
-from repro.harness.experiments.common import SCALES, ExperimentResult
+from repro.harness.experiments.common import SCALES, ExperimentResult, sweep
 from repro.machine import cori
+from repro.parallel import SimJob
 
 LIBRARIES = ["Cray MPI", "Intel MPI", "OMPI-adapt", "OMPI-default"]
 
 
-def run(scale: str = "small", iterations: int | None = None) -> ExperimentResult:
-    cfg = SCALES[scale]
-    spec = cori(nodes=cfg["cori_nodes"])
-    nranks = spec.total_cores
+def jobs(scale: str = "small", iterations: int | None = None) -> list[SimJob]:
+    """One ASP application run per library, in table-row order."""
     iters = iterations or {"small": 24, "medium": 48, "paper": 256}[scale]
+    return [
+        SimJob(
+            kind="asp",
+            machine="cori",
+            nodes=SCALES[scale]["cori_nodes"],
+            library=lib,
+            iterations=iters,
+        )
+        for lib in LIBRARIES
+    ]
+
+
+def run(
+    scale: str = "small",
+    iterations: int | None = None,
+    *,
+    n_jobs: int | None = None,
+    cache=None,
+) -> ExperimentResult:
+    nranks = cori(nodes=SCALES[scale]["cori_nodes"]).total_cores
+    iters = iterations or {"small": 24, "medium": 48, "paper": 256}[scale]
+    cells = jobs(scale, iterations)
     result = ExperimentResult(
         experiment="Table 1",
         title=f"ASP, cori, {nranks} ranks, {iters} iterations of 1 MB rows",
         headers=["library", "communication_s", "total_s", "comm_fraction"],
         notes=["paper: ADAPT 38% communication, Cray 48%, Intel/tuned >80%"],
     )
-    for lib in LIBRARIES:
-        res = run_asp(spec, nranks, lib, iterations=iters)
+    for job, res in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
         result.add(
-            lib,
+            job.library,
             round(res.communication_time, 4),
             round(res.total_runtime, 4),
             round(res.communication_fraction, 3),

@@ -1,0 +1,117 @@
+"""Per-subsystem time breakdowns behind ``repro profile`` (DESIGN.md §18).
+
+Runs one measurement (an ad-hoc collective or a whole experiment driver)
+under :mod:`cProfile` and aggregates exclusive time by repro subsystem —
+``repro.sim``, ``repro.network``, ``repro.collectives``, ... — so hot-path
+work starts from data, not guesses. This is the tool that identified the
+allocator and the engine loop as the top two costs before this PR's
+optimization pass.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Any, Callable, Optional
+
+
+def _subsystem(filename: str) -> str:
+    """Map a profiled code location to a subsystem bucket.
+
+    ``.../repro/network/fairshare.py`` -> ``repro.network``;
+    top-level modules bucket by module (``repro.cli``); everything outside
+    the package is ``stdlib/other`` and C builtins are ``builtins``.
+    """
+    if filename.startswith("~") or filename.startswith("<"):
+        return "builtins"
+    parts = filename.replace(os.sep, "/").split("/")
+    try:
+        i = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return "stdlib/other"
+    rest = parts[i + 1:]
+    if not rest:
+        return "stdlib/other"
+    head = rest[0]
+    if head.endswith(".py"):
+        head = head[:-3]
+    return f"repro.{head}"
+
+
+def profile_call(
+    fn: Callable[[], Any]
+) -> tuple[Any, pstats.Stats]:
+    """Run ``fn`` under cProfile; returns (fn's result, raw stats)."""
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        result = fn()
+    finally:
+        prof.disable()
+    return result, pstats.Stats(prof)
+
+
+def breakdown(stats: pstats.Stats) -> list[dict]:
+    """Aggregate exclusive (tottime) seconds and call counts by subsystem.
+
+    Exclusive times are disjoint, so the rows sum to the total profiled
+    time — a true breakdown, unlike cumulative time which double-counts.
+    """
+    tot: dict[str, float] = {}
+    calls: dict[str, int] = {}
+    for (filename, _lineno, _name), (
+        _cc, nc, tt, _ct, _callers
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        key = _subsystem(filename)
+        tot[key] = tot.get(key, 0.0) + tt
+        calls[key] = calls.get(key, 0) + nc
+    return [
+        {"subsystem": key, "seconds": tot[key], "calls": calls[key]}
+        for key in sorted(tot, key=lambda k: tot[k], reverse=True)
+    ]
+
+
+def top_functions(stats: pstats.Stats, n: int) -> list[dict]:
+    """The ``n`` most expensive functions by exclusive time."""
+    rows = []
+    for (filename, lineno, name), (
+        _cc, nc, tt, ct, _callers
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "function": f"{os.path.basename(filename)}:{lineno}({name})",
+            "subsystem": _subsystem(filename),
+            "seconds": tt,
+            "cumulative": ct,
+            "calls": nc,
+        })
+    rows.sort(key=lambda r: r["seconds"], reverse=True)
+    return rows[:n]
+
+
+def render(
+    stats: pstats.Stats, *, top: int = 0, title: Optional[str] = None
+) -> str:
+    rows = breakdown(stats)
+    total = sum(r["seconds"] for r in rows) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'subsystem':<22} {'seconds':>9} {'share':>7} {'calls':>12}")
+    for r in rows:
+        if r["seconds"] < total * 0.001 and len(lines) > 12:
+            continue  # drop sub-0.1% noise rows once the table is long
+        lines.append(
+            f"{r['subsystem']:<22} {r['seconds']:>9.4f} "
+            f"{100 * r['seconds'] / total:>6.1f}% {r['calls']:>12,}"
+        )
+    lines.append(f"{'total':<22} {total:>9.4f} {'100.0%':>7}")
+    if top > 0:
+        lines.append("")
+        lines.append(f"top {top} functions by exclusive time:")
+        for r in top_functions(stats, top):
+            lines.append(
+                f"  {r['seconds']:>8.4f}s  {r['calls']:>10,} calls  "
+                f"{r['function']}  [{r['subsystem']}]"
+            )
+    return "\n".join(lines)

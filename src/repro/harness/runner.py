@@ -54,6 +54,26 @@ class RunResult:
     degraded: bool = False
     completed: bool = True
 
+    def to_dict(self) -> dict:
+        """JSON-able form (the parallel executor's wire/cache format)."""
+        return {
+            "library": self.library,
+            "operation": self.operation,
+            "machine": self.machine,
+            "nranks": self.nranks,
+            "nbytes": self.nbytes,
+            "noise_percent": self.noise_percent,
+            "times": list(self.times),
+            "seed": self.seed,
+            "transport": dict(self.transport),
+            "degraded": self.degraded,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        return cls(**d)
+
     @property
     def mean_time(self) -> float:
         return float(np.mean(self.times))

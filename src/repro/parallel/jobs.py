@@ -1,0 +1,95 @@
+"""Sweep decomposition: one simulation cell as pure, picklable config.
+
+A :class:`SimJob` is everything needed to run one measurement — a
+``run_collective`` call (``kind="collective"``) or a ``run_asp`` call
+(``kind="asp"``) — expressed as plain data: machine *names*, library
+*names*, algorithm-variant *names*, and a frozen :class:`FaultPlan`.
+No live objects cross the process boundary; the worker rebuilds the
+simulated world from the job alone, which is also what makes the job
+content-addressable (the cache key is a hash of this config plus the
+repro version).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Optional, Union
+
+from repro import __version__
+from repro.faults.plan import FaultPlan
+
+#: Bump when the result wire format or job semantics change in a way that
+#: must invalidate previously cached results.
+CACHE_SCHEMA = 1
+
+#: Algorithm-variant families resolvable by name in the worker
+#: (fig08 sweeps Intel's per-algorithm topology-aware variants).
+ALGO_FAMILIES = ("intel-topo-bcast", "intel-topo-reduce")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent cell of a parameter sweep."""
+
+    kind: str = "collective"  # "collective" | "asp"
+    machine: str = "cori"  # preset name: cori | stampede2 | psg | testbox
+    nodes: Optional[int] = None  # None = the preset's default node count
+    nranks: Optional[int] = None  # None = all cores (or all GPUs when gpu)
+    library: str = "OMPI-adapt"
+    operation: str = "bcast"
+    nbytes: int = 4 << 20
+    iterations: int = 3
+    mode: str = "imb"
+    noise_percent: float = 0.0
+    noise_ranks: Union[str, tuple[int, ...]] = "per-node"
+    noise_frequency: float = 10.0
+    seed: int = 0
+    gpu: bool = False
+    root: int = 0
+    op: str = "sum"  # reduce operator name (repro.mpi.ops)
+    algo_family: Optional[str] = None  # one of ALGO_FAMILIES
+    algo_variant: Optional[str] = None  # variant name within the family
+    collective_config: Optional[tuple[tuple[str, Any], ...]] = None
+    fault_plan: Optional[FaultPlan] = None
+    sanitize: bool = False
+    time_limit: Optional[float] = None
+    # asp-only knobs (ignored for kind="collective"):
+    row_bytes: int = 1 << 20
+    compute_per_iteration: float = 1.57e-3
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("collective", "asp"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.algo_family is not None and self.algo_family not in ALGO_FAMILIES:
+            raise ValueError(f"unknown algo family {self.algo_family!r}")
+        if (self.algo_family is None) != (self.algo_variant is None):
+            raise ValueError("algo_family and algo_variant must be set together")
+        # Tuples keep the config canonical (lists would hash differently).
+        if isinstance(self.noise_ranks, list):
+            object.__setattr__(self, "noise_ranks", tuple(self.noise_ranks))
+        if isinstance(self.collective_config, dict):
+            object.__setattr__(
+                self,
+                "collective_config",
+                tuple(sorted(self.collective_config.items())),
+            )
+
+    def payload(self) -> dict:
+        """Canonical JSON-able description — the content that is addressed."""
+        d = asdict(self)
+        if self.fault_plan is not None:
+            d["fault_plan"] = asdict(self.fault_plan)
+        return d
+
+    def cache_key(self, salt: str = "") -> str:
+        """Content hash of this job, the repro version, and the schema.
+
+        Equal configs collide (that is the point: a re-run after an
+        unrelated code change is a cache hit); any config field, the
+        package version, or the schema changing yields a fresh key.
+        """
+        blob = json.dumps(self.payload(), sort_keys=True)
+        tag = f"|repro={__version__}|schema={CACHE_SCHEMA}|{salt}"
+        return hashlib.sha256((blob + tag).encode()).hexdigest()

@@ -1,0 +1,134 @@
+"""Job execution: rebuild a world from a :class:`SimJob` and measure it.
+
+``execute_job`` is the single entry point both execution paths share — the
+in-process sequential loop and the process-pool workers — so a sweep's
+results are identical bytes regardless of ``--jobs``. It returns a plain
+dict (the wire/cache format); ``result_from_dict`` turns one back into the
+:class:`RunResult`/:class:`AspResult` the experiment drivers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.parallel.jobs import SimJob
+
+
+def _machine_spec(job: SimJob):
+    from repro.machine import cori, psg_gpu, small_test_machine, stampede2
+
+    factories: dict[str, Callable] = {
+        "cori": cori,
+        "stampede2": stampede2,
+        "psg": psg_gpu,
+        "testbox": small_test_machine,
+    }
+    try:
+        factory = factories[job.machine]
+    except KeyError:
+        raise ValueError(f"unknown machine preset {job.machine!r}") from None
+    return factory(job.nodes) if job.nodes is not None else factory()
+
+
+def _custom_algorithm(job: SimJob):
+    if job.algo_family is None:
+        return None
+    from repro.libraries.presets import (
+        intel_topo_bcast_variants,
+        intel_topo_reduce_variants,
+    )
+
+    variants = {
+        "intel-topo-bcast": intel_topo_bcast_variants,
+        "intel-topo-reduce": intel_topo_reduce_variants,
+    }[job.algo_family]()
+    try:
+        return variants[job.algo_variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown {job.algo_family} variant {job.algo_variant!r}"
+        ) from None
+
+
+def _reduce_op(name: str):
+    from repro.mpi import ops
+
+    try:
+        op = getattr(ops, name.upper())
+    except AttributeError:
+        raise ValueError(f"unknown reduce op {name!r}") from None
+    if not isinstance(op, ops.ReduceOp):
+        raise ValueError(f"{name!r} is not a reduce op")
+    return op
+
+
+def execute_job(job: SimJob) -> dict:
+    """Run one job to completion and return its serialized result."""
+    spec = _machine_spec(job)
+    if job.kind == "asp":
+        from repro.apps.asp import run_asp
+
+        nranks = job.nranks if job.nranks is not None else spec.total_cores
+        res = run_asp(
+            spec,
+            nranks,
+            job.library,
+            iterations=job.iterations,
+            row_bytes=job.row_bytes,
+            compute_per_iteration=job.compute_per_iteration,
+        )
+        out = res.to_dict()
+        out["kind"] = "asp"
+        return out
+
+    from repro.config import DEFAULT_COLLECTIVE, CollectiveConfig
+    from repro.harness.runner import run_collective
+
+    nranks = job.nranks
+    if nranks is None:
+        nranks = spec.total_gpus if job.gpu else spec.total_cores
+    config = DEFAULT_COLLECTIVE
+    if job.collective_config:
+        config = CollectiveConfig(**dict(job.collective_config))
+    noise_ranks = (
+        list(job.noise_ranks)
+        if isinstance(job.noise_ranks, tuple)
+        else job.noise_ranks
+    )
+    res = run_collective(
+        spec,
+        nranks,
+        job.library,
+        job.operation,
+        job.nbytes,
+        iterations=job.iterations,
+        mode=job.mode,
+        noise_percent=job.noise_percent,
+        noise_ranks=noise_ranks,
+        noise_frequency=job.noise_frequency,
+        seed=job.seed,
+        gpu=job.gpu,
+        root=job.root,
+        op=_reduce_op(job.op),
+        config=config,
+        custom_algorithm=_custom_algorithm(job),
+        fault_plan=job.fault_plan,
+        sanitize=job.sanitize,
+        time_limit=job.time_limit,
+    )
+    out = res.to_dict()
+    out["kind"] = "collective"
+    return out
+
+
+def result_from_dict(d: dict):
+    """Wire/cache dict back to the result object the harness consumes."""
+    d = dict(d)
+    kind = d.pop("kind", "collective")
+    if kind == "asp":
+        from repro.apps.asp import AspResult
+
+        return AspResult.from_dict(d)
+    from repro.harness.runner import RunResult
+
+    return RunResult.from_dict(d)

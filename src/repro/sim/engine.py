@@ -57,6 +57,8 @@ class Engine:
         eng.run()
     """
 
+    __slots__ = ("_heap", "_seq", "_now", "_running", "_events_processed")
+
     def __init__(self) -> None:
         # Heap of (time, seq, handle) tuples: tuple comparison runs in C,
         # which matters at millions of events per run.
@@ -104,21 +106,25 @@ class Engine:
             raise SimulationError("engine already running (reentrant run())")
         self._running = True
         fired = 0
+        # Hot loop: locals avoid repeated attribute/global lookups. The heap
+        # list object is stable (callbacks push onto it, never rebind it).
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                head_time, _, head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                head_time, _, handle = heap[0]
+                if handle.cancelled:
+                    heappop(heap)
                     continue
                 if until is not None and head_time > until:
                     self._now = until
                     break
-                _, _, handle = heapq.heappop(self._heap)
-                if handle.cancelled:
-                    continue
-                self._now = handle.time
-                fn, args = handle.fn, handle.args
-                handle.fn, handle.args = None, ()  # release references
+                heappop(heap)
+                self._now = head_time
+                fn = handle.fn
+                args = handle.args
+                handle.fn = None  # release references
+                handle.args = ()
                 assert fn is not None
                 fn(*args)
                 self._events_processed += 1

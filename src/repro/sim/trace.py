@@ -23,7 +23,7 @@ from typing import Iterator, Optional
 DEFAULT_MAX_EVENTS = 1_000_000
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded runtime event."""
 
@@ -39,6 +39,8 @@ class TraceEvent:
 class TraceRecorder:
     """Append-only event log with a per-kind index, cheap to disable."""
 
+    __slots__ = ("enabled", "max_events", "events", "dropped", "_by_kind")
+
     def __init__(self, enabled: bool = True, max_events: int = DEFAULT_MAX_EVENTS):
         if max_events <= 0:
             raise ValueError(f"max_events must be positive, got {max_events}")
@@ -51,12 +53,19 @@ class TraceRecorder:
     def record(self, time: float, rank: int, kind: str, detail: str = "") -> None:
         if not self.enabled:
             return
-        if len(self.events) >= self.max_events:
+        events = self.events
+        if len(events) >= self.max_events:
             self.dropped += 1
             return
         event = TraceEvent(time, rank, kind, detail)
-        self.events.append(event)
-        self._by_kind.setdefault(kind, []).append(event)
+        events.append(event)
+        # Inlined setdefault: skips the throwaway list construction on the
+        # (overwhelmingly common) existing-kind path.
+        per_kind = self._by_kind.get(kind)
+        if per_kind is None:
+            self._by_kind[kind] = [event]
+        else:
+            per_kind.append(event)
 
     @property
     def truncated(self) -> bool:

@@ -1,0 +1,12 @@
+"""Test-suite fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep CLI/experiment cache writes out of the working tree and make
+    every test start cold — cached results must never mask a code change."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -59,3 +59,39 @@ class TestCli:
         assert main(["table1", "--scale", "small"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "OMPI-adapt" in out
+
+    def test_parallel_flags_parse_everywhere(self):
+        parser = build_parser()
+        for cmd in ["fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
+                    "table1", "figx", "run"]:
+            args = parser.parse_args([cmd, "--jobs", "3", "--no-cache"])
+            assert args.jobs == 3 and args.no_cache
+
+    def test_run_uses_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["run", "--machine", "cori", "--nodes", "2",
+                "--nbytes", "65536", "--iterations", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # warm: served from the cache
+        assert capsys.readouterr().out == first
+        assert any((tmp_path / "cache").glob("*/*.json"))
+
+    def test_bench_allocator_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--section", "allocator",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "allocator" in out and "speedup" in out
+        import json
+
+        data = json.loads(out_path.read_text())
+        assert data["allocator"]["rounds_per_sec"] > 0
+        assert data["allocator"]["reference_rounds_per_sec"] > 0
+
+    def test_profile_smoke(self, capsys):
+        assert main(["profile", "--machine", "cori", "--nodes", "2",
+                     "--nbytes", "65536", "--iterations", "1",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.sim" in out and "top 3 functions" in out

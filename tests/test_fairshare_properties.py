@@ -1,11 +1,18 @@
 """Property-based tests on the max-min fair allocator and flow dynamics."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.network import FairShareNetwork, Flow, Link
-from repro.network.fairshare import maxmin_rates
+from repro.network.fairshare import (
+    _maxmin_heap,
+    _maxmin_scan,
+    maxmin_rates,
+    maxmin_rates_reference,
+)
 from repro.sim import Engine
 
 
@@ -123,6 +130,52 @@ def test_property_disjoint_links_dont_interact(n_a, n_b):
         return times_a
 
     assert run(False) == pytest.approx(run(True))
+
+
+@given(
+    link_caps=st.lists(caps, min_size=1, max_size=5),
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_optimized_matches_reference(link_caps, data):
+    """The optimized allocator is bit-for-bit the reference allocation —
+    same floats, not approximately equal (this is what makes the parallel
+    sweep results byte-identical)."""
+    nlinks = len(link_caps)
+    nflows = data.draw(st.integers(min_value=1, max_value=10))
+    flow_specs = []
+    for _ in range(nflows):
+        path = data.draw(
+            st.lists(st.integers(0, nlinks - 1), min_size=1, max_size=nlinks)
+        )
+        flow_specs.append((path, data.draw(caps)))
+    links, flows = build_scenario(link_caps, flow_specs)
+    assert maxmin_rates(flows, links) == maxmin_rates_reference(flows, links)
+
+
+def _fuzz_component(rng, nflows, nlinks):
+    links = [Link(f"l{i}", rng.uniform(1e8, 1e10)) for i in range(nlinks)]
+    flows = []
+    for fid in range(nflows):
+        # Deliberately include duplicate links in some paths and leave some
+        # links unused: both are edge cases the allocator must count right.
+        path = [rng.choice(links) for _ in range(rng.randint(1, 4))]
+        f = Flow(fid, path, 1000, rng.uniform(1e6, 1e10), lambda fl: None)
+        flows.append(f)
+        for link in set(path):
+            link.flows.add(f)
+    return flows, links
+
+
+@pytest.mark.parametrize("variant", [_maxmin_scan, _maxmin_heap])
+@pytest.mark.parametrize("nflows,nlinks", [(3, 2), (40, 8), (150, 16)])
+def test_both_variants_match_reference(variant, nflows, nlinks):
+    """Both implementations are exercised directly at every size — the
+    dispatch threshold must never hide a divergence in either path."""
+    rng = random.Random(nflows * 1000 + nlinks)
+    for _ in range(25):
+        flows, links = _fuzz_component(rng, nflows, nlinks)
+        assert variant(flows, links) == maxmin_rates_reference(flows, links)
 
 
 def test_flow_rate_zero_parks_until_capacity_frees():

@@ -1,0 +1,214 @@
+"""Tests for the parallel sweep executor, the result cache, and the
+determinism guarantee: ``--jobs N`` produces byte-identical tables."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.faults import FaultPlan, LossSpec
+from repro.parallel import (
+    ResultCache,
+    SimJob,
+    execute_job,
+    result_from_dict,
+    run_jobs,
+)
+
+
+class TestSimJob:
+    def test_cache_key_stable(self):
+        a = SimJob(library="OMPI-adapt", nbytes=1 << 20)
+        b = SimJob(library="OMPI-adapt", nbytes=1 << 20)
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_differs_per_field(self):
+        base = SimJob()
+        variants = [
+            SimJob(nbytes=base.nbytes * 2),
+            SimJob(seed=base.seed + 1),
+            SimJob(operation="reduce"),
+            SimJob(library="Intel MPI"),
+            SimJob(iterations=base.iterations + 1),
+            SimJob(fault_plan=FaultPlan(losses=[LossSpec(drop=0.01)], seed=2)),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_cache_key_salt(self):
+        job = SimJob()
+        assert job.cache_key() != job.cache_key(salt="other")
+
+    def test_list_noise_ranks_canonicalized(self):
+        assert (
+            SimJob(noise_ranks=[3, 5]).cache_key()
+            == SimJob(noise_ranks=(3, 5)).cache_key()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimJob(kind="mystery")
+        with pytest.raises(ValueError):
+            SimJob(algo_family="intel-topo-bcast")  # variant missing
+        with pytest.raises(ValueError):
+            SimJob(algo_family="no-such-family", algo_variant="x")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SimJob(machine="testbox", nbytes=4096, iterations=1)
+        assert cache.get(job) is None
+        result = execute_job(job)
+        cache.put(job, result)
+        assert cache.get(job) == result
+        assert cache.stats() == {"hits": 1, "misses": 1}
+        assert len(cache) == 1
+
+    def test_roundtrip_preserves_inf_times(self, tmp_path):
+        # A hung schedule reports inf; the cache must not corrupt it.
+        cache = ResultCache(tmp_path)
+        job = SimJob(machine="testbox")
+        result = execute_job(job)
+        result["times"] = [float("inf"), 1.25]
+        cache.put(job, result)
+        back = cache.get(job)
+        assert math.isinf(back["times"][0]) and back["times"][1] == 1.25
+
+    def test_salt_invalidates(self, tmp_path):
+        job = SimJob(machine="testbox")
+        ResultCache(tmp_path).put(job, {"kind": "collective", "x": 1})
+        assert ResultCache(tmp_path, salt="v2").get(job) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SimJob(machine="testbox")
+        cache.put(job, {"kind": "collective"})
+        cache.path_for(job).write_text("{not json", encoding="utf-8")
+        assert cache.get(job) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for nbytes in (1024, 2048, 4096):
+            cache.put(SimJob(machine="testbox", nbytes=nbytes), {"kind": "collective"})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert ResultCache().root == tmp_path / "envcache"
+
+
+def _tiny_jobs(n=3):
+    return [
+        SimJob(machine="testbox", nbytes=1024 * (i + 1), iterations=1)
+        for i in range(n)
+    ]
+
+
+class TestRunJobs:
+    def test_results_in_input_order(self):
+        jobs = _tiny_jobs()
+        results = run_jobs(jobs, n_jobs=1)
+        # Larger transfers take longer: order must match input, not runtime.
+        means = [r.mean_time for r in results]
+        assert means == sorted(means)
+
+    def test_progress_callback_counts_every_job(self):
+        seen = []
+        run_jobs(_tiny_jobs(), n_jobs=1, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_cache_hit_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [real] = run_jobs(_tiny_jobs(1), n_jobs=1, cache=cache)
+        # Poison the cached copy; a hit must return the poisoned value,
+        # proving the job was not re-executed.
+        job = _tiny_jobs(1)[0]
+        poisoned = execute_job(job)
+        poisoned["times"] = [99.0]
+        cache.put(job, poisoned)
+        [again] = run_jobs([job], n_jobs=1, cache=cache)
+        assert again.times == [99.0] and real.times != [99.0]
+        assert cache.hits == 1
+
+    def test_parallel_writes_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = _tiny_jobs(2)
+        run_jobs(jobs, n_jobs=2, cache=cache)
+        assert len(cache) == 2
+        # Second sweep is pure hits.
+        run_jobs(jobs, n_jobs=2, cache=cache)
+        assert cache.hits == 2
+
+    def test_parallel_matches_sequential_roundtrip(self):
+        jobs = _tiny_jobs(4)
+        seq = [r.to_dict() for r in run_jobs(jobs, n_jobs=1)]
+        par = [r.to_dict() for r in run_jobs(jobs, n_jobs=2)]
+        assert seq == par
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            run_jobs(_tiny_jobs(1), n_jobs=0)
+
+
+class TestResultWireFormat:
+    def test_collective_roundtrip(self):
+        d = execute_job(SimJob(machine="testbox", iterations=2))
+        json.dumps(d)  # must be pure JSON
+        res = result_from_dict(d)
+        assert res.to_dict() == {k: v for k, v in d.items() if k != "kind"}
+
+    def test_asp_roundtrip(self):
+        d = execute_job(SimJob(kind="asp", machine="testbox", iterations=2))
+        assert d["kind"] == "asp"
+        res = result_from_dict(d)
+        assert res.total_runtime == pytest.approx(d["total_runtime"])
+
+
+class TestExperimentsByteIdentical:
+    """The acceptance property: experiment tables are byte-identical at any
+    worker count (reduced parameter grids keep the suite fast)."""
+
+    def test_fig09(self):
+        from repro.harness.experiments import fig09_msgsize
+
+        sizes = [256 << 10, 1 << 20]
+        seq = fig09_msgsize.run("cori", "small", "bcast", sizes, n_jobs=1)
+        par = fig09_msgsize.run("cori", "small", "bcast", sizes, n_jobs=2)
+        assert seq.table() == par.table()
+        assert seq.rows == par.rows
+
+    def test_fig07_two_stage(self):
+        from repro.harness.experiments import fig07_noise
+
+        kw = dict(msg=256 << 10, max_iters=12, probe_iters=4)
+        seq = fig07_noise.run("cori", "small", n_jobs=1, **kw)
+        par = fig07_noise.run("cori", "small", n_jobs=2, **kw)
+        assert seq.table() == par.table()
+
+    def test_figx_two_stage_with_inf_rows(self):
+        from repro.harness.experiments import figx_faults
+
+        kw = dict(operations=("bcast",), drops=(0.0, 0.01))
+        seq = figx_faults.run("small", n_jobs=1, **kw)
+        par = figx_faults.run("small", n_jobs=2, **kw)
+        assert seq.table() == par.table()
+        # The hung comparator's inf survived both paths identically.
+        assert any(math.isinf(c) for row in par.rows for c in row
+                   if isinstance(c, float))
+
+    def test_fig09_cached_rerun_identical(self, tmp_path):
+        from repro.harness.experiments import fig09_msgsize
+
+        cache = ResultCache(tmp_path)
+        sizes = [256 << 10]
+        cold = fig09_msgsize.run("cori", "small", "bcast", sizes, cache=cache)
+        assert cache.misses == len(cold.rows)
+        warm = fig09_msgsize.run("cori", "small", "bcast", sizes, cache=cache)
+        assert cache.hits == len(cold.rows)
+        assert cold.table() == warm.table()
