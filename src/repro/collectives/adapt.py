@@ -95,6 +95,7 @@ class _AdaptBcastRank:
 
         self._handled_failures: set[int] = set()
         self.finished = False
+        self._obs = ctx.world.obs  # cached: the hot callbacks test one local
 
     # -- helpers -------------------------------------------------------------
 
@@ -160,6 +161,8 @@ class _AdaptBcastRank:
         self.recvs_out -= 1
         self._recv_pending.pop(seg, None)
         self._post_recv()  # keep M outstanding
+        if self._obs is not None:
+            self._obs.count("adapt.bcast.segments_received")
         if seg not in self.have:
             self.payloads[seg] = data
             if self.staged and self._gpu_world() and not self.is_root:
@@ -211,6 +214,8 @@ class _AdaptBcastRank:
             )
 
     def _on_send_done(self, child: int) -> None:
+        if self._obs is not None:
+            self._obs.count("adapt.bcast.segments_forwarded")
         if child in self.inflight:
             self.inflight[child] -= 1
             self.sent_done[child] += 1
@@ -380,6 +385,7 @@ class _AdaptReduceRank:
         self.parent_lost = False
         self._handled_failures: set[int] = set()
         self.finished = False
+        self._obs = ctx.world.obs
 
     def _start(self) -> None:
         for child in self.children:
@@ -414,6 +420,8 @@ class _AdaptReduceRank:
         )
 
     def _on_reduced(self, seg: int) -> None:
+        if self._obs is not None:
+            self._obs.count("adapt.reduce.contributions_folded")
         self.contributions[seg] += 1
         self._check_seg(seg)
 
@@ -422,6 +430,8 @@ class _AdaptReduceRank:
             return
         self.seg_closed[seg] = True
         self.segments_reduced += 1
+        if self._obs is not None:
+            self._obs.count("adapt.reduce.segments_closed")
         if self.parent is not None and not self.parent_lost:
             self.ready_up.append(seg)
             self._try_send_up()

@@ -223,6 +223,21 @@ class CollectiveContext:
 
 
 def new_handle(ctx: CollectiveContext, name: str) -> CollectiveHandle:
-    return CollectiveHandle(
+    handle = CollectiveHandle(
         name=name, start_time=ctx.world.engine.now, size=ctx.comm.size
     )
+    obs = ctx.world.obs
+    if obs is not None:
+        # One span per rank spanning launch -> that rank's completion, on the
+        # rank's own track; recorded through the same on_rank_done hook the
+        # hierarchical compositions use, so it costs nothing when detached.
+        start = handle.start_time
+        comm = ctx.comm
+
+        def record_span(local: int, t: float) -> None:
+            obs.add(
+                "collective", name, ("rank", comm.world_rank(local)), start, t
+            )
+
+        handle.on_rank_done.append(record_span)
+    return handle

@@ -40,6 +40,7 @@ def bcast_blocking(
     assert tree is not None and tree.root == ctx.root
     sizes = segment_sizes(ctx.nbytes, ctx.config)
     handle = handle or new_handle(ctx, "bcast-blocking")
+    obs = ctx.world.obs
 
     def program(local: int):
         children = tree.children[local]
@@ -52,14 +53,20 @@ def bcast_blocking(
                     # MPI_Send: post, then wait for completion before the
                     # next child (synchronization dependency).
                     yield ctx.isend(local, child, ctx.seg_tag(i), nb, slices[i])
+                    if obs is not None:
+                        obs.count("blocking.bcast.segments_forwarded")
             out = ctx.data
         else:
             for i, nb in enumerate(sizes):
                 req = ctx.irecv(local, parent, ctx.seg_tag(i), nb)
                 yield req
+                if obs is not None:
+                    obs.count("blocking.bcast.segments_received")
                 received[i] = req.data
                 for child in children:
                     yield ctx.isend(local, child, ctx.seg_tag(i), nb, req.data)
+                    if obs is not None:
+                        obs.count("blocking.bcast.segments_forwarded")
             out = assemble_payload(received) if ctx.carry() else None
         handle.mark_done(local, ctx.world.engine.now, out if ctx.carry() else None)
 
@@ -83,6 +90,7 @@ def reduce_blocking(
     assert tree is not None and tree.root == ctx.root
     sizes = segment_sizes(ctx.nbytes, ctx.config)
     handle = handle or new_handle(ctx, "reduce-blocking")
+    obs = ctx.world.obs
 
     def program(local: int):
         children = tree.children[local]
@@ -95,6 +103,8 @@ def reduce_blocking(
                 req = ctx.irecv(local, child, ctx.seg_tag(i), nb)
                 yield req
                 yield Compute(_reduce_seconds(ctx, nb))
+                if obs is not None:
+                    obs.count("blocking.reduce.contributions_folded")
                 if ctx.carry():
                     seg_acc = ctx.combine(seg_acc, req.data)
             acc[i] = seg_acc

@@ -124,6 +124,7 @@ def bcast_scatter_allgather(
         # -- ring allgather phase: P-1 steps around the vrank ring.
         right = local_of((vr + 1) % P)
         left = local_of((vr - 1) % P)
+        obs = ctx.world.obs
         for step in range(P - 1):
             send_b = (vr - step) % P
             recv_b = (vr - step - 1) % P
@@ -133,6 +134,8 @@ def bcast_scatter_allgather(
                 have.get(send_b),
             )
             yield WaitAll([rreq, sreq])
+            if obs is not None:
+                obs.count("classic.sag.ring_steps")
             have[recv_b] = rreq.data
 
         out = None

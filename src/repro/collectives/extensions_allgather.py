@@ -155,7 +155,7 @@ def reduce_scatter_adapt(
             if own is not None
             else None
         )
-        state = {"step": 0, "sends_done": 0}
+        state = {"step": 0, "sends_done": 0, "finished": False}
 
         def block_view(b: int):
             if vec is None:
@@ -164,7 +164,14 @@ def reduce_scatter_adapt(
             return vec[off : off + ln]
 
         def maybe_done() -> None:
+            # Idempotent: `step` is incremented in on_recv but re-checked only
+            # after the charge_reduce delay, so a rendezvous-send completion
+            # landing inside that window would otherwise observe both counters
+            # terminal and mark the rank done a second time.
+            if state["finished"]:
+                return
             if state["step"] == P - 1 and state["sends_done"] == P - 1:
+                state["finished"] = True
                 out = block_view(local)
                 handle.mark_done(
                     local, ctx.world.engine.now,

@@ -101,7 +101,8 @@ def run(
     result = ExperimentResult(
         experiment="Figure 7" + ("a" if machine == "cori" else "b"),
         title=f"noise impact, {machine}, {nranks} ranks, 4 MB",
-        headers=["operation", "library", "noise%", "mean_ms", "slowdown%"],
+        headers=["operation", "library", "noise%", "mean_ms", "slowdown%",
+                 "sync_wait%"],
         notes=[
             f"single noise source (rank {noisy_rank}); event duration scaled to "
             f"{DURATION_FACTOR}x the noise-free collective time, duty cycle as labelled",
@@ -119,7 +120,10 @@ def run(
     # runs over the same iteration count as the noisy measurements, so
     # deep-pipeline convergence effects cancel in the slowdown.
     probe_jobs = [cell(op, lib, iterations=probe_iters) for op, lib in pairs]
-    base_jobs = [cell(op, lib, iterations=max_iters) for op, lib in pairs]
+    base_jobs = [
+        cell(op, lib, iterations=max_iters, observe="metrics")
+        for op, lib in pairs
+    ]
     stage1 = sweep(probe_jobs + base_jobs, n_jobs=n_jobs, cache=cache)
     probes, bases = stage1[: len(pairs)], stage1[len(pairs):]
 
@@ -133,16 +137,21 @@ def run(
                 machine=machine, nodes=nodes, library=lib, operation=operation,
                 nbytes=msg, iterations=max_iters, noise_percent=noise,
                 noise_ranks=(noisy_rank,), seed=int(noise) + 1,
-                noise_frequency=freq,
+                noise_frequency=freq, observe="metrics",
             ))
     stage2 = iter(sweep(noisy_jobs, n_jobs=n_jobs, cache=cache))
 
+    def _sync_wait_pct(run) -> float:
+        m = run.metrics or {}
+        return round(100.0 * m.get("sync_wait_fraction", 0.0), 2)
+
     for (operation, lib), base_run in zip(pairs, bases):
         base = _steady_mean(base_run)
-        result.add(operation, lib, 0.0, round(base * 1e3, 3), 0.0)
+        result.add(operation, lib, 0.0, round(base * 1e3, 3), 0.0,
+                   _sync_wait_pct(base_run))
         for noise in NOISE_LEVELS:
             r = next(stage2)
             slow = slowdown_percent(_steady_mean(r), base)
             result.add(operation, lib, noise, round(_steady_mean(r) * 1e3, 3),
-                       round(slow, 1))
+                       round(slow, 1), _sync_wait_pct(r))
     return result

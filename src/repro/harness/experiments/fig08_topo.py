@@ -57,12 +57,13 @@ def jobs(
             cells.append(SimJob(
                 machine=machine, nodes=nodes, library="Intel MPI",
                 operation=operation, nbytes=nbytes, iterations=iters,
-                algo_family=family, algo_variant=name,
+                algo_family=family, algo_variant=name, observe="metrics",
             ))
         for lib in ("OMPI-default-topo", "OMPI-adapt"):
             cells.append(SimJob(
                 machine=machine, nodes=nodes, library=lib,
                 operation=operation, nbytes=nbytes, iterations=iters,
+                observe="metrics",
             ))
     return cells
 
@@ -81,9 +82,18 @@ def run(
     result = ExperimentResult(
         experiment="Figure 8" + ("a" if machine == "cori" else "b"),
         title=f"topology-aware {operation} vs message size, {machine}, {nranks} ranks",
-        headers=["algorithm", "nbytes", "size", "mean_ms"],
+        headers=["algorithm", "nbytes", "size", "mean_ms", "peak_link_util%"],
     )
     for job, r in zip(cells, sweep(cells, n_jobs=n_jobs, cache=cache)):
         name = job.algo_variant if job.algo_variant is not None else job.library
-        result.add(name, job.nbytes, fmt_bytes(job.nbytes), round(r.mean_time * 1e3, 3))
+        # Peak per-link busy fraction: how hard the schedule drives its
+        # most-loaded wire (the topology-awareness signal — oversubscribed
+        # trees saturate one uplink while the good ones spread the load).
+        m = r.metrics or {}
+        peak = max(
+            (link["busy_fraction"] for link in m.get("links", [])),
+            default=0.0,
+        )
+        result.add(name, job.nbytes, fmt_bytes(job.nbytes),
+                   round(r.mean_time * 1e3, 3), round(100.0 * peak, 1))
     return result

@@ -53,6 +53,12 @@ class RunResult:
     transport: dict = field(default_factory=dict)
     degraded: bool = False
     completed: bool = True
+    # Observability (repro.obs): per-run metrics (observe="metrics"/"trace"),
+    # the full span dump (observe="trace" only), and whether either the
+    # event trace or the span buffer hit its cap and dropped the tail.
+    metrics: Optional[dict] = None
+    obs: Optional[dict] = None
+    trace_truncated: bool = False
 
     def to_dict(self) -> dict:
         """JSON-able form (the parallel executor's wire/cache format)."""
@@ -68,6 +74,9 @@ class RunResult:
             "transport": dict(self.transport),
             "degraded": self.degraded,
             "completed": self.completed,
+            "metrics": self.metrics,
+            "obs": self.obs,
+            "trace_truncated": self.trace_truncated,
         }
 
     @classmethod
@@ -149,6 +158,7 @@ def run_collective(
     fault_plan: Optional[FaultPlan] = None,
     sanitize: bool = False,
     time_limit: Optional[float] = None,
+    observe: Optional[str] = None,
 ) -> RunResult:
     """Measure one (library, operation, size, noise) point.
 
@@ -160,6 +170,13 @@ def run_collective(
     ``runtime_config`` says otherwise, and a plan with kills bounds the
     measurement at ``time_limit`` (default 10 simulated seconds) so hanging
     schedules report ``inf`` instead of looping forever.
+
+    ``observe`` attaches a span recorder to the world (see :mod:`repro.obs`):
+    ``"metrics"`` distills it into ``result.metrics``; ``"trace"``
+    additionally ships the full span dump in ``result.obs`` (the Chrome
+    exporter's input). Recording is retrospective and never perturbs the
+    simulated timeline — an observed run reports the exact times an
+    unobserved one does.
     """
     if isinstance(library, str):
         library = library_by_name(library)
@@ -167,6 +184,8 @@ def run_collective(
         raise ValueError(f"unknown operation {operation!r}")
     if mode not in ("imb", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
+    if observe not in (None, "metrics", "trace"):
+        raise ValueError(f"unknown observe mode {observe!r}")
     if runtime_config is None:
         reliable = bool(fault_plan is not None and fault_plan.losses)
         runtime_config = RuntimeConfig(reliable=reliable)
@@ -179,6 +198,7 @@ def run_collective(
         gpu_bound=gpu,
         carry_data=False,
         sanitize=sanitize,
+        observe=observe is not None,
     )
     comm = Communicator(world)
     injectors: list = []
@@ -229,6 +249,26 @@ def run_collective(
         result.completed = bool(live) and all(h.done for h in live) and (
             len(live) == len(handles)
         )
+        if observe is not None:
+            from repro.obs.metrics import compute_metrics
+
+            result.metrics = compute_metrics(world).to_dict()
+            if observe == "trace":
+                result.obs = world.obs.to_dict()
+        truncated = world.trace.truncated or (
+            world.obs is not None and world.obs.truncated
+        )
+        if truncated:
+            result.trace_truncated = True
+            import warnings
+
+            warnings.warn(
+                f"{library.name} {operation}: event/span buffer cap hit, "
+                "tail events dropped (raise max_events/max_spans for a full "
+                "record)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     if mode == "sequential":
         handles = []

@@ -89,11 +89,18 @@ class ProcletDriver:
         self.result: Any = None
         # (via, gate items) of the await the next resumption returns from.
         self._gate: Optional[tuple[str, tuple]] = None
+        # Begin time of the wait/sleep the proclet is currently blocked in
+        # (observability: the resume closes the span). None when no span
+        # recorder is attached or the proclet is not blocked.
+        self._wait_begin: Optional[float] = None
         # Kick off on the CPU (a noisy rank starts its program late).
         runtime.cpu.when_available(self._step, None)
 
     def _observer(self):
         return getattr(getattr(self.runtime, "world", None), "observer", None)
+
+    def _obs(self):
+        return getattr(getattr(self.runtime, "world", None), "obs", None)
 
     @staticmethod
     def _internal(fn):
@@ -102,10 +109,15 @@ class ProcletDriver:
         fn._depgraph_internal = True
         return fn
 
+    def _mark_waiting(self) -> None:
+        if self._obs() is not None:
+            self._wait_begin = self.runtime.engine.now
+
     def _dispatch(self, awaited: Any) -> None:
         obs = self._observer()
         if isinstance(awaited, Request):
             self._gate = ("wait", (awaited,))
+            self._mark_waiting()
             if obs is not None:
                 obs.proclet_waiting(self, self.runtime.rank, "wait", (awaited,))
             awaited.add_callback(self._internal(lambda req: self._step(req)))
@@ -122,6 +134,7 @@ class ProcletDriver:
             self.runtime.cpu.execute(awaited.seconds, self._step, None)
         elif isinstance(awaited, Sleep):
             self._gate = ("sleep", ())
+            self._mark_waiting()
             self.runtime.engine.call_after(awaited.seconds, self._step, None)
         elif isinstance(awaited, (list, tuple)):
             self._wait_all(tuple(awaited))
@@ -130,6 +143,7 @@ class ProcletDriver:
 
     def _wait_all(self, requests: tuple[Request, ...]) -> None:
         self._gate = ("waitall", requests)
+        self._mark_waiting()
         pending = [r for r in requests if not r.completed]
         if not pending:
             # Still resume via the CPU: Waitall is a call the process makes.
@@ -152,6 +166,7 @@ class ProcletDriver:
 
     def _wait_any(self, requests: tuple[Request, ...]) -> None:
         self._gate = ("waitany", requests)
+        self._mark_waiting()
         for i, r in enumerate(requests):
             if r.completed:
                 self.runtime.cpu.when_available(self._step, (i, r))
@@ -173,6 +188,16 @@ class ProcletDriver:
 
     def _step(self, value: Any) -> None:
         """Resume the generator with ``value`` (runs in CPU/event context)."""
+        if self._wait_begin is not None and self._gate is not None:
+            span_rec = self._obs()
+            if span_rec is not None:
+                via = self._gate[0]
+                span_rec.add(
+                    "sleep" if via == "sleep" else "wait", via,
+                    ("rank", self.runtime.rank),
+                    self._wait_begin, self.runtime.engine.now,
+                )
+            self._wait_begin = None
         obs = self._observer()
         token = None
         if obs is not None:

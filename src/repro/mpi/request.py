@@ -23,6 +23,7 @@ class Request:
         "completed",
         "cancelled",
         "completion_time",
+        "post_time",
         "data",
         "_callbacks",
         "_runtime",
@@ -37,6 +38,7 @@ class Request:
         self.completed = False
         self.cancelled = False
         self.completion_time: Optional[float] = None
+        self.post_time: float = runtime.engine.now if runtime is not None else 0.0
         self.data: Any = None   # payload, set on recv completion in data mode
         self._callbacks: list[Callable[["Request"], None]] = []
         self._runtime = runtime
@@ -81,6 +83,13 @@ class Request:
                 world.observer.op_completed(self)
             if world.sanitizer is not None:
                 world.sanitizer.on_complete(self)
+            if world.obs is not None:
+                arrow = "->" if self.kind == "send" else "<-"
+                world.obs.add(
+                    self.kind, f"{self.kind} {arrow} {self.peer}",
+                    ("rank", self.rank), self.post_time, now,
+                    {"tag": self.tag, "nbytes": self.nbytes, "peer": self.peer},
+                )
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
             self._dispatch_callback(fn)

@@ -75,6 +75,9 @@ class RankRuntime:
         self.world = world
         self.rank = rank
         self.cpu = Cpu(world.engine, name=f"cpu:{rank}")
+        if world.obs is not None:
+            self.cpu.obs = world.obs
+            self.cpu.obs_rank = rank
         self.matcher = Matcher()
         self.space = MemSpace.GPU if world.gpu_bound else MemSpace.HOST
         self.alive = True
@@ -580,6 +583,7 @@ class MpiWorld:
         trace: bool = False,
         gpudirect: bool = True,
         sanitize: bool = False,
+        observe: bool = False,
     ):
         self.spec = spec
         self.nranks = nranks
@@ -600,8 +604,17 @@ class MpiWorld:
             from repro.analysis.sanitizer import Sanitizer  # deferred: avoids cycle
 
             self.sanitizer = Sanitizer(self)
+        # Observability (repro.obs): observe=True attaches a span/counter
+        # recorder as world.obs; rank CPUs and the fair-share network get a
+        # direct reference so their hot paths pay one pointer test when off.
+        self.obs = None
+        if observe:
+            from repro.obs.spans import ObsRecorder  # deferred: avoids cycle
+
+            self.obs = ObsRecorder()
         self.ranks = [RankRuntime(self, r) for r in range(nranks)]
         self.fabric.network.sanitizer = self.sanitizer
+        self.fabric.network.obs = self.obs
         # Fault tolerance: a repro.faults.FailureDetector may attach here;
         # fail-stopped ranks accumulate in failed_ranks (see kill_rank).
         # Subscriptions made before a detector exists are buffered and

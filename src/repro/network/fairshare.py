@@ -291,6 +291,10 @@ class FairShareNetwork:
         # Optional invariant checker (repro.analysis.sanitizer); the owning
         # MpiWorld installs it when constructed with sanitize=True.
         self.sanitizer = None
+        # Optional span recorder (repro.obs); installed by MpiWorld when
+        # built with observe=True. Each finished flow records one span per
+        # link of its path (the per-link busy/bandwidth metrics).
+        self.obs = None
 
     # -- public API --------------------------------------------------------
 
@@ -367,6 +371,24 @@ class FairShareNetwork:
         for link in flow.path:
             link.flows.discard(flow)
         self.flows_completed += 1
+        if self.obs is not None and had_links:
+            # Span per link over the flow's wire lifetime (submit -> drain;
+            # includes the path latency prefix, which is negligible against
+            # the transfer for the segment sizes the collectives move).
+            ti = flow.taginfo
+            if ti is not None:
+                kind, src, dst, tag = ti
+                name = f"{kind} {src}->{dst}"
+                args = {"tag": tag, "nbytes": flow.nbytes}
+            else:
+                name = "copy"
+                args = {"nbytes": flow.nbytes}
+            for link in flow.path:
+                self.obs.add(
+                    "flow", name, ("link", link.name),
+                    flow.start_time, flow.finish_time, args,
+                )
+            self.obs.count("net.flows_completed")
         cb = flow.on_complete
         cb(flow)
         if had_links:

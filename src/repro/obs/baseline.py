@@ -1,0 +1,88 @@
+"""Metric snapshots and drift detection.
+
+``repro metrics`` distills a small fixed-seed noise scenario into a nested
+dict of rounded numbers (the *snapshot*).  A checked-in copy lives at
+``src/repro/harness/metrics_baseline.json``; CI re-collects the snapshot
+and diffs it against the baseline, so a change that silently shifts
+sync-wait fractions, link utilization, or the critical path fails the
+build instead of drifting unnoticed.
+
+Comparison is tolerant (relative tolerance on numeric leaves) because the
+snapshot, while deterministic on one platform, rounds floats whose last
+digit may differ across libm builds.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Optional
+
+#: Checked-in baseline consumed by ``repro metrics --check`` and CI.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "harness",
+    "metrics_baseline.json",
+)
+
+
+def load_baseline(path: Optional[str] = None) -> dict:
+    with open(path or BASELINE_PATH, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def save_baseline(snapshot: dict, path: Optional[str] = None) -> str:
+    path = path or BASELINE_PATH
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def compare_snapshots(
+    current: Any,
+    baseline: Any,
+    *,
+    rel_tol: float = 0.05,
+    abs_tol: float = 1e-6,
+    _path: str = "",
+) -> list[str]:
+    """Structural diff of two snapshots; one line per drifted leaf.
+
+    Numeric leaves compare with ``math.isclose``; everything else compares
+    for equality.  Missing and unexpected keys are drift too — a metric
+    disappearing is exactly the regression this guards against.
+    """
+    where = _path or "<root>"
+    drift: list[str] = []
+    if isinstance(current, dict) and isinstance(baseline, dict):
+        for key in sorted(set(current) | set(baseline)):
+            sub = f"{_path}.{key}" if _path else str(key)
+            if key not in baseline:
+                drift.append(f"{sub}: unexpected (not in baseline)")
+            elif key not in current:
+                drift.append(f"{sub}: missing (in baseline, not in current)")
+            else:
+                drift.extend(compare_snapshots(
+                    current[key], baseline[key],
+                    rel_tol=rel_tol, abs_tol=abs_tol, _path=sub,
+                ))
+        return drift
+    if isinstance(current, (list, tuple)) and isinstance(baseline, (list, tuple)):
+        if len(current) != len(baseline):
+            return [f"{where}: length {len(current)} != {len(baseline)}"]
+        for i, (c, b) in enumerate(zip(current, baseline)):
+            drift.extend(compare_snapshots(
+                c, b, rel_tol=rel_tol, abs_tol=abs_tol, _path=f"{where}[{i}]",
+            ))
+        return drift
+    num = (int, float)
+    if (isinstance(current, num) and isinstance(baseline, num)
+            and not isinstance(current, bool) and not isinstance(baseline, bool)):
+        if not math.isclose(current, baseline, rel_tol=rel_tol, abs_tol=abs_tol):
+            return [f"{where}: {current} != {baseline} (rel_tol={rel_tol})"]
+        return []
+    if current != baseline:
+        return [f"{where}: {current!r} != {baseline!r}"]
+    return []

@@ -1,0 +1,158 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Converts recorded spans into the Trace Event Format (the JSON flavor
+``chrome://tracing`` and https://ui.perfetto.dev load directly): one thread
+track per rank under the "ranks" process, one per fabric link under the
+"links" process, complete ("X") events with microsecond timestamps, and
+counter ("C") events carrying the monotonic counters at the trace end.
+
+Serialization is deterministic — events are emitted in sorted order and
+rendered with fixed separators — so a fixed-seed run exports byte-identical
+files regardless of ``--jobs`` (asserted by the golden-file tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from repro.obs.spans import ObsRecorder
+
+_PID_RANKS = 1
+_PID_LINKS = 2
+
+#: Keys every complete event must carry (the validator's schema).
+_X_REQUIRED = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def _tid(track: tuple[str, Any], link_ids: dict[str, int]) -> tuple[int, int]:
+    kind, ident = track
+    if kind == "rank":
+        return _PID_RANKS, int(ident)
+    return _PID_LINKS, link_ids[ident]
+
+
+def chrome_trace_events(obs: Union[ObsRecorder, dict]) -> list[dict]:
+    """Spans + counters -> trace-event dicts, deterministically ordered."""
+    if isinstance(obs, dict):
+        obs = ObsRecorder.from_dict(obs)
+    tracks = obs.tracks()
+    link_ids = {
+        ident: i for i, (kind, ident) in enumerate(tracks) if kind == "link"
+    }
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": _PID_RANKS, "tid": 0,
+         "args": {"name": "ranks"}},
+    ]
+    if link_ids:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": _PID_LINKS, "tid": 0,
+             "args": {"name": "links"}}
+        )
+    for kind, ident in tracks:
+        pid, tid = _tid((kind, ident), link_ids)
+        label = f"rank {ident}" if kind == "rank" else str(ident)
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": label}}
+        )
+
+    spans = []
+    for s in obs.spans:
+        pid, tid = _tid(s.track, link_ids)
+        ev = {
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": round(s.begin * 1e6, 3),   # microseconds
+            "dur": round(s.duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if s.args:
+            ev["args"] = s.args
+        spans.append(ev)
+    # Stable order: by track, then time, then name — monotone ts per track.
+    spans.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["dur"], e["name"]))
+    events.extend(spans)
+
+    # Counters sit at the trace end; computed from the *rounded* span
+    # events so rounding can never place a span past the counter line.
+    end_ts = max((e["ts"] + e["dur"] for e in spans), default=0.0)
+    for name in sorted(obs.counters):
+        events.append({
+            "name": name, "cat": "counter", "ph": "C", "ts": end_ts,
+            "pid": _PID_RANKS, "tid": 0,
+            "args": {"value": obs.counters[name]},
+        })
+    return events
+
+
+def render_chrome_json(events: list[dict]) -> str:
+    """Trace-event dicts -> the JSON object format, byte-deterministic."""
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def validate_chrome_trace(doc: Union[str, dict]) -> list[str]:
+    """Check a trace document against the trace-event schema.
+
+    Returns a list of problems (empty = valid): required keys on every "X"
+    event, non-negative durations, and monotone non-decreasing ``ts`` within
+    each (pid, tid) track.
+    """
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    errors: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["missing top-level traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not an array"]
+    last_ts: dict[tuple[int, int], float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            errors.append(f"event {i}: missing phase (ph)")
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if ph == "C":
+            if "ts" not in ev or "args" not in ev:
+                errors.append(f"event {i}: counter missing ts/args")
+            continue
+        if ph != "X":
+            errors.append(f"event {i}: unexpected phase {ph!r}")
+            continue
+        missing = [k for k in _X_REQUIRED if k not in ev]
+        if missing:
+            errors.append(f"event {i}: missing keys {missing}")
+            continue
+        if ev["dur"] < 0:
+            errors.append(f"event {i}: negative duration {ev['dur']}")
+        if ev["ts"] < 0:
+            errors.append(f"event {i}: negative timestamp {ev['ts']}")
+        key = (ev["pid"], ev["tid"])
+        prev = last_ts.get(key)
+        if prev is not None and ev["ts"] < prev:
+            errors.append(
+                f"event {i}: ts {ev['ts']} goes backwards on track {key} "
+                f"(previous {prev})"
+            )
+        last_ts[key] = ev["ts"]
+    return errors
+
+
+def export_chrome_trace(obs: Union[ObsRecorder, dict], path: str) -> int:
+    """Write a trace file; returns the number of events written."""
+    events = chrome_trace_events(obs)
+    text = render_chrome_json(events)
+    problems = validate_chrome_trace(text)
+    if problems:  # pragma: no cover - internal consistency guard
+        raise RuntimeError(f"generated an invalid trace: {problems[:3]}")
+    with open(path, "w") as fh:
+        fh.write(text)
+    return len(events)

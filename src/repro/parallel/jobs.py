@@ -22,7 +22,9 @@ from repro.faults.plan import FaultPlan
 
 #: Bump when the result wire format or job semantics change in a way that
 #: must invalidate previously cached results.
-CACHE_SCHEMA = 1
+#: 2: observability fields (metrics/obs/trace_truncated) joined the result
+#: wire format and SimJob gained the ``observe`` knob.
+CACHE_SCHEMA = 2
 
 #: Algorithm-variant families resolvable by name in the worker
 #: (fig08 sweeps Intel's per-algorithm topology-aware variants).
@@ -55,6 +57,9 @@ class SimJob:
     fault_plan: Optional[FaultPlan] = None
     sanitize: bool = False
     time_limit: Optional[float] = None
+    # Observability: None (off), "metrics" (result.metrics only), or
+    # "trace" (metrics + the full span dump for the Chrome exporter).
+    observe: Optional[str] = None
     # asp-only knobs (ignored for kind="collective"):
     row_bytes: int = 1 << 20
     compute_per_iteration: float = 1.57e-3
@@ -64,6 +69,8 @@ class SimJob:
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.algo_family is not None and self.algo_family not in ALGO_FAMILIES:
             raise ValueError(f"unknown algo family {self.algo_family!r}")
+        if self.observe not in (None, "metrics", "trace"):
+            raise ValueError(f"unknown observe mode {self.observe!r}")
         if (self.algo_family is None) != (self.algo_variant is None):
             raise ValueError("algo_family and algo_variant must be set together")
         # Tuples keep the config canonical (lists would hash differently).

@@ -115,6 +115,7 @@ def execute_job(job: SimJob) -> dict:
         fault_plan=job.fault_plan,
         sanitize=job.sanitize,
         time_limit=job.time_limit,
+        observe=job.observe,
     )
     out = res.to_dict()
     out["kind"] = "collective"

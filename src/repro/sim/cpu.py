@@ -32,6 +32,10 @@ class Cpu:
         "noise_time",
         "work_items",
         "halted",
+        "obs",
+        "obs_rank",
+        "_shadow_busy_until",
+        "noise_absorbed_seconds",
     )
 
     def __init__(self, engine: Engine, name: str = "cpu"):
@@ -42,6 +46,20 @@ class Cpu:
         self.noise_time = 0.0  # total seconds of injected noise
         self.work_items = 0
         self.halted = False  # fail-stopped: queued and future work is dropped
+        # Observability hook (repro.obs): an ObsRecorder, or None (the
+        # default, costing one pointer test per execute/inject_noise). When
+        # attached, the CPU also keeps a *shadow* clock advanced by work but
+        # not by noise: the real-vs-shadow lag measures how much injected
+        # noise actually displaced work (the noise-absorption metric).
+        self.obs = None
+        self.obs_rank = -1
+        self._shadow_busy_until = 0.0
+        self.noise_absorbed_seconds = 0.0
+
+    @property
+    def shadow_busy_until(self) -> float:
+        """Where the busy clock would be had no noise ever been injected."""
+        return self._shadow_busy_until
 
     @property
     def busy_until(self) -> float:
@@ -70,6 +88,18 @@ class Cpu:
             return self._busy_until
         start = self.available_at()
         end = start + duration
+        if self.obs is not None:
+            # Shadow clock: same update as the real one, minus noise. Lag
+            # between the clocks that closes across an idle gap is noise the
+            # schedule absorbed (the CPU would have idled anyway).
+            lag_before = max(0.0, self._busy_until - self._shadow_busy_until)
+            shadow_start = max(self.engine.now, self._shadow_busy_until)
+            self._shadow_busy_until = shadow_start + duration
+            lag_after = start - shadow_start
+            if lag_before > lag_after:
+                self.noise_absorbed_seconds += lag_before - lag_after
+            if duration > 0.0:
+                self.obs.add("cpu", "work", ("rank", self.obs_rank), start, end)
         self._busy_until = end
         self.busy_time += duration
         self.work_items += 1
@@ -107,4 +137,8 @@ class Cpu:
         start = self.available_at()
         self._busy_until = start + duration
         self.noise_time += duration
+        if self.obs is not None and duration > 0.0:
+            # The shadow clock does not advance: the real-vs-shadow lag this
+            # opens is the noise that must be absorbed or paid for.
+            self.obs.add("noise", "noise", ("rank", self.obs_rank), start, self._busy_until)
         return self._busy_until

@@ -99,6 +99,14 @@ class Engine:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for _, _, h in self._heap if not h.cancelled)
 
+    def stats(self) -> dict[str, float]:
+        """Engine-level counters (the observability layer's engine hook)."""
+        return {
+            "now": self._now,
+            "events_processed": float(self._events_processed),
+            "pending": float(self.pending()),
+        }
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event queue drains, ``until`` is reached, or
         ``max_events`` have fired. Returns the final simulated time."""

@@ -5,6 +5,20 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed", type=int, default=20260806,
+        help="base seed for the property-fuzz sweep "
+        "(tests/test_property_fuzz.py); every case derives from it, so one "
+        "integer reproduces the whole sweep",
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed(request) -> int:
+    return request.config.getoption("--fuzz-seed")
+
+
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
     """Keep CLI/experiment cache writes out of the working tree and make

@@ -1,0 +1,99 @@
+"""Cache-path behavior: the environment kill-switch, corrupt-entry
+fallback, and the guarantee that ``--no-cache`` bypasses reads *and*
+writes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import _parallel_kwargs, build_parser, main
+from repro.parallel import ResultCache, SimJob, execute_job, run_jobs
+
+
+def tiny_job(**kw):
+    kw.setdefault("machine", "testbox")
+    kw.setdefault("nbytes", 64 << 10)
+    kw.setdefault("iterations", 1)
+    return SimJob(**kw)
+
+
+class TestEnvKillSwitch:
+    def test_repro_no_cache_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        args = build_parser().parse_args(["fig9"])
+        assert _parallel_kwargs(args)["cache"] is None
+
+    def test_zero_and_empty_keep_cache(self, monkeypatch):
+        for value in ("", "0"):
+            monkeypatch.setenv("REPRO_NO_CACHE", value)
+            args = build_parser().parse_args(["fig9"])
+            assert isinstance(_parallel_kwargs(args)["cache"], ResultCache)
+
+    def test_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "0")
+        args = build_parser().parse_args(["fig9", "--no-cache"])
+        assert _parallel_kwargs(args)["cache"] is None
+
+
+class TestCorruptEntryFallback:
+    def test_truncated_json_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        [real] = run_jobs([job], n_jobs=1, cache=cache)
+        path = cache.path_for(job)
+        full = path.read_text(encoding="utf-8")
+        path.write_text(full[: len(full) // 2], encoding="utf-8")  # torn write
+        [again] = run_jobs([job], n_jobs=1, cache=cache)
+        assert again.times == real.times
+        # The recompute healed the entry: it parses and hits again.
+        assert json.loads(path.read_text(encoding="utf-8"))["times"]
+
+    def test_garbage_json_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        run_jobs([job], n_jobs=1, cache=cache)
+        cache.path_for(job).write_text("]]{{not json", encoding="utf-8")
+        [res] = run_jobs([job], n_jobs=1, cache=cache)
+        assert res.times  # recomputed, not crashed
+
+    def test_wrong_schema_payload_roundtrips_as_stored(self, tmp_path):
+        # A *parseable* entry is trusted (content-addressing means the key
+        # already encodes schema + version); this documents that contract.
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        poisoned = execute_job(job)
+        poisoned["times"] = [42.0]
+        cache.put(job, poisoned)
+        [res] = run_jobs([job], n_jobs=1, cache=cache)
+        assert res.times == [42.0]
+
+
+class TestNoCacheBypassesReadsAndWrites:
+    ARGV = ["run", "--machine", "cori", "--nodes", "2", "--nbytes", "65536",
+            "--iterations", "1"]
+
+    def test_no_cache_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(self.ARGV + ["--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "c").exists()
+
+    def test_no_cache_ignores_poisoned_entries(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(self.ARGV) == 0  # warm the cache
+        honest = capsys.readouterr().out
+        # Poison every cached entry; --no-cache must not read them.
+        cache = ResultCache()
+        poisoned = 0
+        for entry in cache.root.glob("*/*.json"):
+            d = json.loads(entry.read_text(encoding="utf-8"))
+            d["times"] = [1e9]
+            entry.write_text(json.dumps(d), encoding="utf-8")
+            poisoned += 1
+        assert poisoned > 0
+        assert main(self.ARGV + ["--no-cache"]) == 0
+        assert capsys.readouterr().out == honest
+        # Without the flag the poison comes back — proving reads do happen
+        # on the default path (and that --no-cache skipped them above).
+        assert main(self.ARGV) == 0
+        assert capsys.readouterr().out != honest

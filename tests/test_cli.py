@@ -67,6 +67,24 @@ class TestCli:
             args = parser.parse_args([cmd, "--jobs", "3", "--no-cache"])
             assert args.jobs == 3 and args.no_cache
 
+    def test_trace_and_metrics_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["trace", "--chrome", "t.json",
+                                  "--jobs", "2", "--no-cache"])
+        assert args.command == "trace" and args.chrome == "t.json"
+        assert args.jobs == 2 and args.no_cache
+        args = parser.parse_args(["metrics", "--check", "--no-cache"])
+        assert args.command == "metrics" and args.check and not args.update
+
+    def test_trace_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "--machine", "testbox", "--nbytes", "65536",
+                     "--iterations", "1", "--chrome", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(out.read_text()) == []
+
     def test_run_uses_cache(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         argv = ["run", "--machine", "cori", "--nodes", "2",

@@ -102,6 +102,36 @@ class TestReduceScatter:
         w.run()
         assert handle.done
 
+    @pytest.mark.parametrize("nranks", [2, 3])
+    def test_rendezvous_blocks_complete_once(self, nranks):
+        # Regression: with per-rank blocks above the eager threshold the
+        # rendezvous send completes at the same sim time as the final
+        # receive, and the completion check used to fire twice (once from
+        # the send callback, once after the charge_reduce delay) —
+        # "rank N finished 'reduce-scatter-adapt' twice". Found by the
+        # property fuzz sweep (seed 99, cases 71/175).
+        w = MpiWorld(small_test_machine(), nranks, carry_data=True,
+                     sanitize=True)
+        comm = Communicator(w)
+        nbytes = nranks * (16 * 1024 + 1)  # one byte past eager per block
+        cfg = CollectiveConfig(segment_size=1024, inflight_sends=2,
+                               posted_recvs=2)
+        rng = np.random.default_rng(99)
+        data = {r: rng.integers(0, 256, nbytes, dtype=np.uint8)
+                for r in range(nranks)}
+        ctx = CollectiveContext(comm, 0, nbytes, cfg, data=data, op=MAX)
+        handle = reduce_scatter_adapt(ctx)
+        w.run()
+        assert handle.done
+        full = None
+        for r in range(nranks):
+            full = data[r].copy() if full is None else MAX(full, data[r])
+        for r, (off, ln) in enumerate(block_ranges(nbytes, nranks)):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8),
+                full[off : off + ln], err_msg=f"rank {r}",
+            )
+
     def test_reduce_scatter_then_allgather_equals_allreduce(self):
         # The classic composition identity, checked end to end.
         nranks = 8
