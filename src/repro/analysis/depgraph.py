@@ -468,4 +468,10 @@ def record(world: Any, launch: Callable[[], Any], meta: Optional[dict] = None) -
         world.run()
     finally:
         world.observer = None
+    meta = dict(meta or {})
+    # Fault runs: the linter excuses operations stranded by fail-stopped
+    # ranks (and flags survivor-to-survivor strands as recovery bugs).
+    failed = getattr(world, "failed_ranks", None)
+    if failed:
+        meta.setdefault("failed_ranks", sorted(failed))
     return recorder.finalize(meta)

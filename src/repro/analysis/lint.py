@@ -21,6 +21,12 @@ Rules, per Section 2 of the paper and standard MPI hygiene:
   buffered eager messages in the unexpected queue.
 * ``graph-cycle`` — the happens-before graph itself has a cycle (recorder
   or runtime bug; happens-before must be a DAG).
+* ``stranded-survivor`` — in a run where ranks fail-stopped (the graph's
+  ``meta["failed_ranks"]``, captured automatically by ``record``), unmatched
+  operations touching a dead rank are *excused* as repair debris, but an
+  unmatched operation strictly between survivors means the recovery left a
+  live rank waiting on a message that can never arrive — the invariant the
+  tree re-grafting engine (DESIGN.md S20) must uphold.
 
 ``certify`` summarizes the dependency census the paper's Figure 2 argument
 is about: ADAPT schedules must show **zero** synchronization edges while
@@ -195,6 +201,35 @@ def _find_unmatched(graph: DepGraph) -> list[Finding]:
     sends = [graph.nodes[n] for n in graph.unmatched_sends]
     recvs = [graph.nodes[n] for n in graph.unmatched_recvs]
     blocked_ids = {nid for b in graph.blocked for nid in b.pending}
+    # Recovery semantics (DESIGN.md S20): in a run where ranks fail-stopped,
+    # an unmatched operation *touching* a dead rank is expected debris (the
+    # repair re-routed around it); one strictly between survivors means the
+    # recovery left a live rank waiting on a message that can never come —
+    # the exact invariant the re-grafting engine must uphold.
+    failed = set(graph.meta.get("failed_ranks", ()))
+    if failed:
+        def strands(node) -> bool:
+            if node.rank in failed or node.peer in failed:
+                return False
+            # A zero-byte survivor-to-survivor send is repair debris (a
+            # barrier release replayed to a rank that already exited):
+            # always eager, completes locally, strands nobody.
+            return not (node.kind == "send" and node.nbytes == 0)
+
+        findings.extend(
+            Finding(
+                rule="stranded-survivor", severity=ERROR,
+                message=(
+                    "survivor-to-survivor operation stranded after recovery "
+                    f"(failed ranks: {sorted(failed)})"
+                ),
+                rank=node.rank, peer=node.peer, tag=node.tag,
+                path=(node.describe(),),
+            )
+            for node in sends + recvs
+            if strands(node)
+        )
+        return findings
     paired: set[int] = set()
     for s in sends:
         partner = next(

@@ -140,6 +140,7 @@ class Sanitizer:
             + stats["duplicates_suppressed"]
             + stats["msgs_lost_dead"]
             + dropped
+            + stats["checksum_rejects"]
         )
         if sent != accounted:
             raise SanitizerError(
@@ -147,7 +148,8 @@ class Sanitizer:
                 f"{stats['transmissions']} transmission(s) + {duplicated} "
                 f"injected duplicate(s) != {stats['fresh_deliveries']} fresh "
                 f"+ {stats['duplicates_suppressed']} suppressed "
-                f"+ {dropped} dropped + {stats['msgs_lost_dead']} lost-at-dead"
+                f"+ {dropped} dropped + {stats['msgs_lost_dead']} lost-at-dead "
+                f"+ {stats['checksum_rejects']} checksum-rejected"
             )
 
     # -- collective windows ------------------------------------------------------

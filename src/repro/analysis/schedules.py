@@ -18,6 +18,7 @@ from repro.analysis.depgraph import DepGraph, record
 from repro.collectives import (
     allgather_adapt,
     allreduce_adapt,
+    alltoall_adapt,
     barrier_adapt,
     bcast_adapt,
     bcast_blocking,
@@ -26,6 +27,7 @@ from repro.collectives import (
     reduce_adapt,
     reduce_blocking,
     reduce_nonblocking,
+    reduce_scatter_adapt,
     scatter_adapt,
 )
 from repro.collectives.base import CollectiveContext
@@ -49,6 +51,8 @@ SCHEDULES: dict[str, Callable] = {
     "allreduce-adapt": allreduce_adapt,
     "barrier-adapt": barrier_adapt,
     "allgather-adapt": allgather_adapt,
+    "reduce-scatter-adapt": reduce_scatter_adapt,
+    "alltoall-adapt": alltoall_adapt,
 }
 
 TREES: dict[str, Callable[[int], Tree]] = {
@@ -59,7 +63,7 @@ TREES: dict[str, Callable[[int], Tree]] = {
 }
 
 # Schedule names the CLI accepts beyond the real collectives.
-DEMO_SCHEDULES = ("deadlock-demo", "tag-mismatch-demo")
+DEMO_SCHEDULES = ("deadlock-demo", "tag-mismatch-demo", "recovery-demo")
 
 
 def _recording_world(
@@ -125,6 +129,8 @@ def analyze_demo(name: str, nranks: int = 2, nbytes: int = 256 * 1024) -> DepGra
         # Keep the message eager-sized: the demo's point is the *orphaned*
         # completed send, not a rendezvous deadlock.
         return tag_mismatch_demo(nbytes=min(nbytes, 4 * 1024))
+    if name == "recovery-demo":
+        return recovery_demo(nranks=max(4, nranks), nbytes=nbytes)
     raise ValueError(f"unknown demo schedule {name!r}")
 
 
@@ -154,6 +160,41 @@ def deadlock_demo(nranks: int = 2, nbytes: int = 256 * 1024) -> DepGraph:
     return record(
         world, launch,
         meta={"schedule": "deadlock-demo", "nranks": nranks, "nbytes": nbytes},
+    )
+
+
+def recovery_demo(nranks: int = 8, nbytes: int = 256 * 1024) -> DepGraph:
+    """A mid-flight fail-stop with live recovery armed.
+
+    A broadcast loses an interior rank while segments are in flight; the
+    membership protocol agrees on the death and the tree re-grafts around
+    it. The recorded graph carries ``meta["failed_ranks"]``, so the linter
+    excuses the dead rank's stranded edges — and must find **no**
+    ``stranded-survivor``: the proof that recovery schedules stay
+    deadlock-free (the property the CI lint job asserts).
+    """
+    from repro.faults import FaultInjector, FaultPlan, KillSpec
+    from repro.recovery import launch_recover
+    from repro.trees import topology_aware_tree
+
+    world = _recording_world(nranks)
+    comm = Communicator(world)
+    config = CollectiveConfig(segment_size=16 * 1024)
+    tree = topology_aware_tree(world.topology, list(comm.ranks), 0)
+    ctx = CollectiveContext(comm, 0, nbytes, config, tree=tree)
+    victim = min(nranks - 1, 2)
+    plan = FaultPlan(kills=[KillSpec(rank=victim, time=2e-4)], detect_delay=2e-4)
+
+    def launch() -> None:
+        launch_recover("bcast", ctx)
+        FaultInjector(world, plan).arm(0.05)
+
+    return record(
+        world, launch,
+        meta={
+            "schedule": "recovery-demo", "nranks": nranks, "nbytes": nbytes,
+            "victim": victim,
+        },
     )
 
 

@@ -117,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(pfx)
     _add_parallel(pfx)
 
+    pfxr = sub.add_parser(
+        "figxr",
+        help="Figure X-R (ours): live recovery across every ADAPT collective",
+    )
+    pfxr.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the rows as deterministic JSON "
+                      "(byte-identical at any --jobs count)")
+    _add_scale(pfxr)
+    _add_parallel(pfxr)
+
     prun = sub.add_parser("run", help="one ad-hoc collective measurement")
     prun.add_argument("--library", default="OMPI-adapt")
     prun.add_argument("--op", dest="operation", default="bcast",
@@ -186,9 +196,15 @@ def build_parser() -> argparse.ArgumentParser:
         "ack/retransmit transport, and/or a mid-collective fail-stop of one "
         "rank. By default the same fault plan is also applied to the "
         "Waitall-style comparator, showing ADAPT completing (degraded) "
-        "where the blocking schedule hangs.",
+        "where the blocking schedule hangs. With --recover the live "
+        "recovery stack (DESIGN.md S20) is armed instead: membership "
+        "agreement plus tree re-grafting/epoch restart complete every "
+        "ADAPT collective among the survivors, and --corrupt exercises "
+        "the end-to-end checksum/NACK repair path.",
     )
-    pchaos.add_argument("operation", choices=["bcast", "reduce"])
+    from repro.libraries.presets import ADAPT_OPERATIONS
+
+    pchaos.add_argument("operation", choices=list(ADAPT_OPERATIONS))
     pchaos.add_argument("--library", default="OMPI-adapt")
     pchaos.add_argument("--compare", default="OMPI-default-topo",
                         help="second library run under the same plan "
@@ -202,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-message drop probability on every link")
     pchaos.add_argument("--duplicate", type=float, default=0.0,
                         help="per-message duplication probability")
+    pchaos.add_argument("--corrupt", type=float, default=0.0,
+                        help="per-message bit-corruption probability "
+                        "(caught by checksums, repaired via NACK)")
+    pchaos.add_argument("--recover", action="store_true",
+                        help="arm live recovery: membership agreement + "
+                        "tree re-graft/epoch restart (DESIGN.md S20)")
     pchaos.add_argument("--kill-rank", type=int, default=None,
                         help="fail-stop this rank mid-collective")
     pchaos.add_argument("--kill-at", type=float, default=None,
@@ -319,6 +341,30 @@ def _cmd_experiment(args) -> str:
         return table1_asp.run(args.scale, **kw).table()
     if args.command == "figx":
         return figx_faults.run(args.scale, **kw).table()
+    if args.command == "figxr":
+        from repro.harness.experiments import figx_recovery
+
+        res = figx_recovery.run(args.scale, **kw)
+        out = res.table()
+        if args.json:
+            import json
+            import math
+
+            payload = {
+                "experiment": res.experiment,
+                "title": res.title,
+                "headers": res.headers,
+                "rows": [
+                    [None if isinstance(c, float) and not math.isfinite(c)
+                     else c for c in row]
+                    for row in res.rows
+                ],
+                "notes": res.notes,
+            }
+            with open(args.json, "w") as fh:
+                fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            out += f"\nwrote {args.json}"
+        return out
     raise AssertionError  # pragma: no cover
 
 
@@ -386,13 +432,14 @@ def _cmd_profile(args) -> str:
 
 def _cmd_chaos(args) -> str:
     from repro.faults import FaultPlan, KillSpec, LossSpec
+    from repro.faults.plan import CorruptSpec
 
     spec = _machine(args.machine, args.nodes)
     nranks = args.nranks or spec.total_cores
     lossy = args.drop > 0 or args.duplicate > 0
-    if not lossy and args.kill_rank is None:
-        raise SystemExit("chaos: nothing to inject; pass --drop, --duplicate "
-                         "and/or --kill-rank")
+    if not lossy and args.corrupt <= 0 and args.kill_rank is None:
+        raise SystemExit("chaos: nothing to inject; pass --drop, --duplicate, "
+                         "--corrupt and/or --kill-rank")
     lines = []
 
     def fault_free(lib: str):
@@ -409,25 +456,34 @@ def _cmd_chaos(args) -> str:
             0.3 * base.mean_time * args.iterations
         )
     losses = [LossSpec(drop=args.drop, duplicate=args.duplicate)] if lossy else []
+    corrupts = [CorruptSpec(rate=args.corrupt)] if args.corrupt > 0 else []
     kills = (
         [KillSpec(rank=args.kill_rank, time=kill_at)]
         if args.kill_rank is not None else []
     )
-    plan = FaultPlan(losses=losses, kills=kills, seed=args.seed)
+    plan = FaultPlan(losses=losses, kills=kills, corrupts=corrupts,
+                     seed=args.seed)
     desc = []
     if lossy:
         desc.append(f"drop={args.drop:g} duplicate={args.duplicate:g} per message")
+    if corrupts:
+        desc.append(f"corrupt={args.corrupt:g} per message")
     if kills:
         desc.append(f"kill rank {args.kill_rank} at t={kill_at * 1e3:.3f} ms")
+    if args.recover:
+        desc.append("recovery armed")
     lines.append(f"fault plan: {'; '.join(desc)} (seed={args.seed})")
 
     libraries = [args.library]
     if args.compare and args.compare != args.library:
         libraries.append(args.compare)
     for lib in libraries:
+        # The comparator shows what the same plan does *without* recovery.
+        recover = args.recover and lib == args.library
         r = run_collective(
             spec, nranks, lib, args.operation, args.nbytes,
             iterations=args.iterations, seed=args.seed, fault_plan=plan,
+            recover=recover,
             sanitize=not kills,  # a hung schedule legitimately leaves wreckage
         )
         lines.append(f"faulty      {r}")
@@ -436,10 +492,23 @@ def _cmd_chaos(args) -> str:
                 "            -> HUNG: the schedule cannot recover from the "
                 "failure (reported inf)"
             )
+        elif recover and r.failed_ranks:
+            ttr = r.time_to_repair
+            ttr_txt = f"{ttr * 1e3:.3f} ms" if ttr is not None else "n/a"
+            lines.append(
+                "            -> RECOVERED: survivors completed; agreed "
+                f"failed={r.failed_ranks}, time-to-repair={ttr_txt}"
+            )
         elif r.degraded:
             lines.append(
                 "            -> completed DEGRADED: survivors re-routed "
                 "around the dead rank"
+            )
+        nacks = r.transport.get("nacks_sent", 0)
+        if nacks:
+            lines.append(
+                f"            -> integrity: {r.transport.get('checksum_rejects', 0)} "
+                f"checksum rejections repaired via {nacks} NACK retransmits"
             )
     return "\n".join(lines)
 
@@ -649,7 +718,7 @@ def _cmd_machines() -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
-                        "table1", "figx"):
+                        "table1", "figx", "figxr"):
         print(_cmd_experiment(args))
     elif args.command == "run":
         print(_cmd_run(args))

@@ -40,6 +40,7 @@ from repro.collectives.extensions_allgather import (
     allgather_adapt,
     reduce_scatter_adapt,
 )
+from repro.collectives.extensions_alltoall import alltoall_adapt
 
 __all__ = [
     "CollectiveHandle",
@@ -63,4 +64,5 @@ __all__ = [
     "barrier_adapt",
     "allgather_adapt",
     "reduce_scatter_adapt",
+    "alltoall_adapt",
 ]

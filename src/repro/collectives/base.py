@@ -39,6 +39,12 @@ class CompletionReport:
     adoptions: list[tuple[int, int]] = field(default_factory=list)  # (adopter, orphan)
     lost_subtrees: list[int] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    # Live recovery (DESIGN.md S20): the failed set *agreed* by the
+    # membership protocol (vs ``failed_ranks``, raw detector observations
+    # this collective routed around) and the epoch of the view the final
+    # results belong to (0 = the original launch, never shrunk).
+    agreed_failed: set[int] = field(default_factory=set)
+    epoch: int = 0
 
     def note(self, text: str) -> None:
         if text not in self.notes:
@@ -48,6 +54,10 @@ class CompletionReport:
         if not self.degraded:
             return "clean"
         parts = [f"degraded: failed={sorted(self.failed_ranks)}"]
+        if self.epoch:
+            parts.append(
+                f"epoch={self.epoch} agreed={sorted(self.agreed_failed)}"
+            )
         if self.adoptions:
             parts.append(f"adoptions={self.adoptions}")
         if self.lost_subtrees:

@@ -44,6 +44,203 @@ def _subtree(tree, rank: int) -> list[int]:
     return [rank] + list(tree.descendants(rank))
 
 
+class _AdaptScatterRank:
+    """Per-rank state machine for the event-driven scatter.
+
+    Degraded mode (DESIGN.md S20): a dead child's live descendants are
+    adopted — their subtree ranges re-sliced out of this rank's buffer and
+    re-sent; an orphan cancels its receive from the dead parent and re-posts
+    the full range from its nearest live ancestor. Ranges are computed on
+    the *original* tree on both sides, so adopter and orphan always agree on
+    sizes regardless of when each learns of a death.
+    """
+
+    def __init__(self, ctx: CollectiveContext, handle: CollectiveHandle,
+                 local: int, base_tag: int, blocks: list):
+        self.ctx = ctx
+        self.handle = handle
+        self.local = local
+        self.base_tag = base_tag
+        self.blocks = blocks
+        tree = ctx.tree
+        assert tree is not None
+        self.tree = tree
+        self.children = list(tree.children[local])
+        self.parent = tree.parent[local]
+        self.received = self.parent is None
+        self.buf: Any = None
+        self.sent_to: set[int] = set()
+        self.sends_open: set[int] = set()
+        self._recv_req: Any = None
+        self._handled_failures: set[int] = set()
+        self.finished = False
+
+    # -- range helpers --------------------------------------------------------
+
+    def _subtree_bytes(self, r: int) -> int:
+        return sum(self.blocks[m][1] for m in _subtree(self.tree, r))
+
+    def _own_block(self) -> Any:
+        if self.buf is None:
+            return None
+        off = 0
+        for m in sorted(_subtree(self.tree, self.local)):
+            if m == self.local:
+                return self.buf[off : off + self.blocks[m][1]]
+            off += self.blocks[m][1]
+        raise AssertionError  # pragma: no cover
+
+    def _range_of(self, target: int) -> Any:
+        """Slice ``target``'s subtree range out of my (member-ordered) buffer."""
+        if self.buf is None:
+            return None
+        wanted = set(_subtree(self.tree, target))
+        chunks, off = [], 0
+        for m in sorted(_subtree(self.tree, self.local)):
+            ln = self.blocks[m][1]
+            if m in wanted:
+                chunks.append(self.buf[off : off + ln])
+            off += ln
+        return np.concatenate(chunks) if chunks else None
+
+    def _failed_locals(self) -> set[int]:
+        detector = self.ctx.world.failure_detector
+        if detector is None:
+            return set()
+        comm = self.ctx.comm
+        return {comm.local_rank(w) for w in detector.failed if w in comm}
+
+    # -- data flow ------------------------------------------------------------
+
+    def _start(self) -> None:
+        ctx = self.ctx
+        if self.parent is None:
+            payload = (
+                np.asarray(ctx.data).reshape(-1).view(np.uint8)
+                if (ctx.carry() and ctx.data is not None)
+                else None
+            )
+            if payload is not None:
+                self.buf = np.concatenate([
+                    payload[self.blocks[m][0] : self.blocks[m][0] + self.blocks[m][1]]
+                    for m in sorted(_subtree(self.tree, self.local))
+                ])
+        else:
+            self._post_recv(self.parent)
+        self._flush_sends()
+        self._maybe_finish()
+
+    def _post_recv(self, src: int) -> None:
+        req = self.ctx.irecv(
+            self.local, src, self.base_tag + self.local,
+            self._subtree_bytes(self.local),
+        )
+        self._recv_req = req
+        req.add_callback(self._on_recv)
+
+    def _on_recv(self, r) -> None:
+        self._recv_req = None
+        if self.received:
+            return  # a recovery replay of a range the dead parent delivered
+        self.buf = (
+            np.asarray(r.data).reshape(-1).view(np.uint8)
+            if (self.ctx.carry() and r.data is not None)
+            else None
+        )
+        self.received = True
+        self._flush_sends()
+        self._maybe_finish()
+
+    def _flush_sends(self) -> None:
+        if not self.received:
+            return
+        for child in list(self.children):
+            if child in self.sent_to:
+                continue
+            self.sent_to.add(child)
+            self.sends_open.add(child)
+            req = self.ctx.isend(
+                self.local, child, self.base_tag + child,
+                self._subtree_bytes(child), self._range_of(child),
+            )
+            req.add_callback(lambda r, child=child: self._on_send_done(child))
+
+    def _on_send_done(self, child: int) -> None:
+        self.sends_open.discard(child)
+        self._maybe_finish()
+
+    # -- failure handling -----------------------------------------------------
+
+    def on_failure(self, dead: int) -> None:
+        """A comm-member rank was declared failed (runs on this rank's CPU)."""
+        if dead == self.local or dead in self._handled_failures:
+            return
+        self._handled_failures.add(dead)
+        report = self.handle.report
+        report.degraded = True
+        report.failed_ranks.add(dead)
+        self.handle.excuse(dead)
+        failed = self._failed_locals()
+        if dead in self.children:
+            self.children.remove(dead)
+            self.sends_open.discard(dead)
+            for orphan in self._live_descendants(dead, failed):
+                if orphan in self.children or orphan in self.sent_to:
+                    continue
+                self.children.append(orphan)
+                report.adoptions.append((self.local, orphan))
+            self._flush_sends()
+        if self.parent is not None and dead == self.parent:
+            self._reparent(failed)
+        if self.tree.root in failed and not self.received and not self.finished:
+            # The distribution source is gone: nothing upstream can ever
+            # deliver this subtree's range.
+            report.note(f"rank {self.local}: root dead, scatter range lost")
+            self.handle.excuse(self.local)
+        self._maybe_finish()
+
+    def _live_descendants(self, dead: int, failed: set[int]) -> list[int]:
+        out: list[int] = []
+        stack = list(self.tree.children[dead])
+        while stack:
+            r = stack.pop()
+            if r in failed:
+                stack.extend(self.tree.children[r])
+            else:
+                out.append(r)
+        return sorted(out)
+
+    def _reparent(self, failed: set[int]) -> None:
+        if self._recv_req is not None and not self._recv_req.completed:
+            self.ctx.rt(self.local).cancel_recv(self._recv_req)
+            self._recv_req = None
+        ancestor = self.tree.parent[self.local]
+        while ancestor is not None and ancestor in failed:
+            ancestor = self.tree.parent[ancestor]
+        if ancestor is None:
+            self.parent = None
+            self.handle.report.note(
+                f"rank {self.local}: no live ancestor, scatter range lost"
+            )
+            if not self.finished:
+                self.handle.excuse(self.local)
+            return
+        self.parent = ancestor
+        # Post the replay receive even if the range already arrived — the
+        # adopter replays unconditionally, and an unmatched rendezvous send
+        # would strand it; the `received` guard absorbs the duplicate.
+        self._post_recv(ancestor)
+
+    # -- completion -----------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        if self.finished or not self.received or self.sends_open:
+            return
+        self.finished = True
+        out = self._own_block() if self.ctx.carry() else None
+        self.handle.mark_done(self.local, self.ctx.world.engine.now, out)
+
+
 def scatter_adapt(
     ctx: CollectiveContext,
     handle: Optional[CollectiveHandle] = None,
@@ -62,98 +259,11 @@ def scatter_adapt(
     if first_call:
         ctx.scratch = ctx.world.allocate_tags(P)
     base_tag = ctx.scratch
-    payload = (
-        np.asarray(ctx.data).reshape(-1).view(np.uint8)
-        if (ctx.carry() and ctx.data is not None)
-        else None
-    )
-
-    def subtree_bytes(r: int) -> int:
-        return sum(blocks[m][1] for m in _subtree(tree, r))
-
-    def subtree_slice(r: int, buf) -> Any:
-        if buf is None:
-            return None
-        members = sorted(_subtree(tree, r))
-        return np.concatenate(
-            [buf[blocks[m][0] : blocks[m][0] + blocks[m][1]] for m in members]
-        )
-
-    def start_rank(local: int) -> None:
-        children = tree.children[local]
-        parent = tree.parent[local]
-        state = {"forwarded": 0, "have": None, "received": parent is None}
-
-        def own_block(buf) -> Any:
-            if buf is None:
-                return None
-            members = sorted(_subtree(tree, local))
-            off = 0
-            for m in members:
-                if m == local:
-                    return buf[off : off + blocks[m][1]]
-                off += blocks[m][1]
-            raise AssertionError  # pragma: no cover
-
-        def maybe_done() -> None:
-            if state["received"] and state["forwarded"] == len(children):
-                out = own_block(state["have"]) if ctx.carry() else None
-                handle.mark_done(local, ctx.world.engine.now, out)
-
-        def forward(buf) -> None:
-            for child in children:
-                # Re-slice this child's subtree range out of my range. My
-                # range is ordered by ascending member rank.
-                def child_range(buf=buf, child=child):
-                    if buf is None:
-                        return None
-                    members = sorted(_subtree(tree, local))
-                    target = set(_subtree(tree, child))
-                    chunks = []
-                    off = 0
-                    for m in members:
-                        ln = blocks[m][1]
-                        if m in target:
-                            chunks.append(buf[off : off + ln])
-                        off += ln
-                    return np.concatenate(chunks) if chunks else None
-
-                req = ctx.isend(
-                    local, child, base_tag + child, subtree_bytes(child),
-                    child_range(),
-                )
-                req.add_callback(lambda r: (_sent(), None)[1])
-
-        def _sent() -> None:
-            state["forwarded"] += 1
-            maybe_done()
-
-        if parent is None:
-            if payload is not None:
-                members = sorted(_subtree(tree, local))
-                state["have"] = np.concatenate(
-                    [payload[blocks[m][0] : blocks[m][0] + blocks[m][1]] for m in members]
-                )
-            forward(state["have"])
-            maybe_done()
-        else:
-            req = ctx.irecv(local, parent, base_tag + local, subtree_bytes(local))
-
-            def on_recv(r) -> None:
-                buf = (
-                    np.asarray(r.data).reshape(-1).view(np.uint8)
-                    if (ctx.carry() and r.data is not None)
-                    else None
-                )
-                state["have"] = buf
-                state["received"] = True
-                forward(buf)
-                maybe_done()
-
-            req.add_callback(on_recv)
 
     for local in ranks if ranks is not None else range(P):
-        ctx.rt(local).cpu.when_available(start_rank, local)
+        rank_state = _AdaptScatterRank(ctx, handle, local, base_tag, blocks)
+        ctx.rt(local).cpu.when_available(rank_state._start)
+        ctx.subscribe_failures(local, rank_state.on_failure)
     return handle
 
 
@@ -266,6 +376,167 @@ def allreduce_adapt(
     return handle
 
 
+class _AdaptBarrierRank:
+    """Per-rank state machine for the tree barrier.
+
+    Degraded mode (DESIGN.md S20): a dead child is dropped from the up-count
+    and its live descendants adopted (their up-recvs re-posted here, release
+    owed to them); an orphan re-sends its up-notification to the nearest
+    live ancestor and re-posts the release recv from it. A rank whose whole
+    ancestor chain died acts as its own subtree root. All messages are
+    zero-byte (always eager), so sends complete locally and need no
+    write-off accounting.
+    """
+
+    def __init__(self, ctx: CollectiveContext, handle: CollectiveHandle,
+                 local: int, base_tag: int):
+        self.ctx = ctx
+        self.handle = handle
+        self.local = local
+        self.base_tag = base_tag
+        self.P = ctx.comm.size
+        tree = ctx.tree
+        assert tree is not None
+        self.tree = tree
+        self.children = list(tree.children[local])
+        self.parent = tree.parent[local]
+        self.up_pending: set[int] = set(self.children)
+        self.sent_up = False
+        self.released = False
+        self._up_reqs: dict[int, Any] = {}
+        self._release_req: Any = None
+        self._handled_failures: set[int] = set()
+
+    def _start(self) -> None:
+        if self.parent is not None:
+            # Pre-post the release recv at entry (Section 2.2.1): it can
+            # never arrive unexpected, and the release phase carries no
+            # synchronization dependency on the gather phase.
+            self._post_release_recv(self.parent)
+        for child in list(self.children):
+            self._post_up_recv(child)
+        self._check_up()
+
+    def _post_release_recv(self, src: int) -> None:
+        req = self.ctx.irecv(
+            self.local, src, self.base_tag + self.P + self.local, 0
+        )
+        self._release_req = req
+        req.add_callback(lambda r: self._release())
+
+    def _post_up_recv(self, child: int) -> None:
+        req = self.ctx.irecv(self.local, child, self.base_tag + child, 0)
+        self._up_reqs[child] = req
+        req.add_callback(lambda r, child=child: self._on_up(child))
+
+    def _on_up(self, child: int) -> None:
+        self._up_reqs.pop(child, None)
+        self.up_pending.discard(child)
+        self._check_up()
+
+    def _check_up(self) -> None:
+        if self.up_pending:
+            return
+        if self.parent is None:
+            self._release()
+        elif not self.sent_up:
+            self.sent_up = True
+            self.ctx.isend(self.local, self.parent, self.base_tag + self.local, 0)
+
+    def _release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        for child in self.children:
+            self.ctx.isend(self.local, child, self.base_tag + self.P + child, 0)
+        self.handle.mark_done(self.local, self.ctx.world.engine.now)
+
+    # -- failure handling -----------------------------------------------------
+
+    def _failed_locals(self) -> set[int]:
+        detector = self.ctx.world.failure_detector
+        if detector is None:
+            return set()
+        comm = self.ctx.comm
+        return {comm.local_rank(w) for w in detector.failed if w in comm}
+
+    def on_failure(self, dead: int) -> None:
+        """A comm-member rank was declared failed (runs on this rank's CPU)."""
+        if dead == self.local or dead in self._handled_failures:
+            return
+        self._handled_failures.add(dead)
+        report = self.handle.report
+        report.degraded = True
+        report.failed_ranks.add(dead)
+        self.handle.excuse(dead)
+        failed = self._failed_locals()
+        if dead in self.children:
+            self.children.remove(dead)
+            self.up_pending.discard(dead)
+            req = self._up_reqs.pop(dead, None)
+            if req is not None and not req.completed:
+                self.ctx.rt(self.local).cancel_recv(req)
+            for orphan in self._live_descendants(dead, failed):
+                if orphan in self.children:
+                    continue
+                self.children.append(orphan)
+                report.adoptions.append((self.local, orphan))
+                if not self.released:
+                    # The orphan may re-send an up-notification here; it is
+                    # NOT added to up_pending — its arrival at the dead
+                    # parent is unknowable, so the barrier's semantics weaken
+                    # to "every survivor entered" rather than "every
+                    # survivor's subtree entered", which degraded mode
+                    # accepts. The recv absorbs the resend either way.
+                    self._post_up_recv(orphan)
+                else:
+                    # Already released: the orphan only needs its exit.
+                    self.ctx.isend(
+                        self.local, orphan, self.base_tag + self.P + orphan, 0
+                    )
+            self._check_up()
+        if self.parent is not None and dead == self.parent:
+            self._reparent(failed)
+
+    def _live_descendants(self, dead: int, failed: set[int]) -> list[int]:
+        out: list[int] = []
+        stack = list(self.tree.children[dead])
+        while stack:
+            r = stack.pop()
+            if r in failed:
+                stack.extend(self.tree.children[r])
+            else:
+                out.append(r)
+        return sorted(out)
+
+    def _reparent(self, failed: set[int]) -> None:
+        if self._release_req is not None and not self._release_req.completed:
+            self.ctx.rt(self.local).cancel_recv(self._release_req)
+            self._release_req = None
+        ancestor = self.tree.parent[self.local]
+        while ancestor is not None and ancestor in failed:
+            ancestor = self.tree.parent[ancestor]
+        self.parent = ancestor
+        if ancestor is None:
+            # Whole ancestor chain is dead: act as this subtree's root.
+            self.handle.report.note(
+                f"rank {self.local}: no live ancestor, completing barrier as "
+                f"subtree root"
+            )
+            self._check_up()
+            return
+        if not self.released:
+            self._post_release_recv(ancestor)
+        if self.sent_up:
+            # The up-notification went into a corpse; replay it to the
+            # adopter (which posted a matching recv at adoption time).
+            self.ctx.isend(
+                self.local, ancestor, self.base_tag + self.local, 0
+            )
+        else:
+            self._check_up()
+
+
 def barrier_adapt(
     ctx: CollectiveContext,
     handle: Optional[CollectiveHandle] = None,
@@ -282,40 +553,8 @@ def barrier_adapt(
         ctx.scratch = ctx.world.allocate_tags(2 * P)
     base_tag = ctx.scratch
 
-    def start_rank(local: int) -> None:
-        children = tree.children[local]
-        parent = tree.parent[local]
-        state = {"up": len(children)}
-
-        def release() -> None:
-            for child in children:
-                ctx.isend(local, child, base_tag + P + child, 0)
-            handle.mark_done(local, ctx.world.engine.now)
-
-        def arrived_up() -> None:
-            if state["up"] > 0:
-                return
-            if parent is None:
-                release()
-                return
-            ctx.isend(local, parent, base_tag + local, 0)
-
-        if parent is not None:
-            # Pre-post the release recv at entry (Section 2.2.1): it can
-            # never arrive unexpected, and the release phase carries no
-            # synchronization dependency on the gather phase.
-            down = ctx.irecv(local, parent, base_tag + P + local, 0)
-            down.add_callback(lambda r: release())
-        for child in children:
-            req = ctx.irecv(local, child, base_tag + child, 0)
-
-            def on_up(r) -> None:
-                state["up"] -= 1
-                arrived_up()
-
-            req.add_callback(on_up)
-        arrived_up()
-
     for local in ranks if ranks is not None else range(P):
-        ctx.rt(local).cpu.when_available(start_rank, local)
+        rank_state = _AdaptBarrierRank(ctx, handle, local, base_tag)
+        ctx.rt(local).cpu.when_available(rank_state._start)
+        ctx.subscribe_failures(local, rank_state.on_failure)
     return handle

@@ -38,6 +38,13 @@ class FailureDetector:
         for fn, cpu in world._failure_subscribers:
             self.subscribe(fn, cpu=cpu)
         world._failure_subscribers.clear()
+        # Ranks that fail-stopped before this detector existed (a kill fired
+        # while only the buffering world was listening) would otherwise never
+        # be declared: the buffer records *subscribers*, not failures, so a
+        # subscriber arriving after that epoch closed heard nothing. Replay
+        # the ground truth through the normal delayed path.
+        for rank in sorted(world.failed_ranks):
+            self.observe_kill(rank)
 
     def is_failed(self, rank: int) -> bool:
         return rank in self.failed

@@ -73,6 +73,27 @@ class FabricFaults:
             return swallowed, dup_cb
         return on_complete, dup_cb
 
+    def corrupt_roll(
+        self, src: int, dst: int, nbytes: int, taginfo
+    ) -> Optional[int]:
+        """Decide whether this data message is corrupted in flight.
+
+        Returns the seed-deterministic bit index to flip (within the
+        ``nbytes`` payload), or ``None``. Called by the runtime at wire
+        launch — sender CPU order, so equal plans over equal workloads roll
+        identically regardless of receiver-side timing.
+        """
+        inj = self._injector
+        spec = inj.match_corrupt(src, dst)
+        if spec is None or spec.rate <= 0.0:
+            return None
+        if float(inj.rng.random()) >= spec.rate:
+            return None
+        bit = int(inj.rng.integers(max(1, nbytes * 8)))
+        inj.corrupted += 1
+        inj.record("corrupt", f"{src}->{dst} tag={taginfo} {nbytes}B bit={bit}")
+        return bit
+
 
 class FaultInjector:
     """Schedules a plan's faults into a world's engine and fabric."""
@@ -85,6 +106,7 @@ class FaultInjector:
         # Counters (conservation checked by the sanitizer, DESIGN.md S17).
         self.dropped = 0
         self.duplicated = 0
+        self.corrupted = 0
         self.kills_done = 0
         self.stalls_done = 0
         self.flap_toggles = 0
@@ -101,7 +123,7 @@ class FaultInjector:
         # collectives subscribe to the detector at launch time, which may
         # precede the first arm() of the driving loop.
         self.detector: Optional[FailureDetector] = None
-        if plan.losses:
+        if plan.losses or plan.corrupts:
             world.fabric.faults = self.fabric_faults
         if plan.kills:
             self.detector = world.failure_detector or FailureDetector(
@@ -126,6 +148,13 @@ class FaultInjector:
     def match_loss(self, src: int, dst: int):
         """First loss spec covering the (src -> dst) channel, if any."""
         for spec in self.plan.losses:
+            if spec.matches(src, dst):
+                return spec
+        return None
+
+    def match_corrupt(self, src: int, dst: int):
+        """First corruption spec covering the (src -> dst) channel, if any."""
+        for spec in self.plan.corrupts:
             if spec.matches(src, dst):
                 return spec
         return None

@@ -69,6 +69,33 @@ class LossSpec:
 
 
 @dataclass(frozen=True)
+class CorruptSpec:
+    """Flip one payload bit in (src -> dst) data messages with rate ``rate``.
+
+    ``src``/``dst`` of ``None`` wildcard over all ranks, like
+    :class:`LossSpec`. Corruption is applied at wire launch: the message
+    arrives on time but with one seed-deterministically chosen bit flipped,
+    which the receiver's per-segment checksum catches at delivery. On the
+    reliable transport a corrupt arrival triggers a NACK and an immediate
+    retransmit; on the raw transport it is equivalent to a silent drop of
+    the payload's integrity (delivered but flagged).
+    """
+
+    rate: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"corrupt rate must be in [0, 1], got {self.rate}")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
 class FlapSpec:
     """Periodically degrade every link whose name contains ``link``.
 
@@ -107,6 +134,7 @@ class FaultPlan:
     stalls: tuple[StallSpec, ...] = ()
     losses: tuple[LossSpec, ...] = ()
     flaps: tuple[FlapSpec, ...] = ()
+    corrupts: tuple[CorruptSpec, ...] = ()
     seed: int = 0
     detect_delay: float = 1e-3
 
@@ -116,6 +144,7 @@ class FaultPlan:
         stalls=(),
         losses=(),
         flaps=(),
+        corrupts=(),
         seed: int = 0,
         detect_delay: float = 1e-3,
     ):
@@ -124,10 +153,53 @@ class FaultPlan:
         object.__setattr__(self, "stalls", tuple(stalls))
         object.__setattr__(self, "losses", tuple(losses))
         object.__setattr__(self, "flaps", tuple(flaps))
+        object.__setattr__(self, "corrupts", tuple(corrupts))
         object.__setattr__(self, "seed", seed)
         object.__setattr__(self, "detect_delay", detect_delay)
         if detect_delay < 0:
             raise ValueError(f"detect_delay must be >= 0, got {detect_delay}")
 
     def empty(self) -> bool:
-        return not (self.kills or self.stalls or self.losses or self.flaps)
+        return not (
+            self.kills or self.stalls or self.losses or self.flaps or self.corrupts
+        )
+
+
+#: Every fault kind a plan dict may carry, mapped to its spec class.  The
+#: explicit registry is what lets :func:`plan_from_dict` reject a typo'd or
+#: not-yet-supported kind with a clear error instead of silently ignoring
+#: the entry (a silently dropped ``"kils"`` key once cost an afternoon).
+FAULT_KINDS: dict[str, type] = {
+    "kills": KillSpec,
+    "stalls": StallSpec,
+    "losses": LossSpec,
+    "flaps": FlapSpec,
+    "corrupts": CorruptSpec,
+}
+
+_SCALARS = ("seed", "detect_delay")
+
+
+def plan_from_dict(payload: dict) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from its ``dataclasses.asdict`` form.
+
+    Unknown keys — fault kinds this build does not implement, or typos —
+    raise ``ValueError`` naming the offender and the known kinds, instead
+    of producing a plan that silently does less than the caller asked for.
+    """
+    unknown = sorted(k for k in payload if k not in FAULT_KINDS and k not in _SCALARS)
+    if unknown:
+        raise ValueError(
+            f"unknown fault kind(s) {unknown}; "
+            f"known kinds: {sorted(FAULT_KINDS)} plus {list(_SCALARS)}"
+        )
+    kwargs: dict[str, object] = {}
+    for kind, cls in FAULT_KINDS.items():
+        entries = payload.get(kind, ())
+        kwargs[kind] = tuple(
+            e if isinstance(e, cls) else cls(**e) for e in entries
+        )
+    for name in _SCALARS:
+        if name in payload:
+            kwargs[name] = payload[name]
+    return FaultPlan(**kwargs)

@@ -21,6 +21,7 @@ from repro.harness.experiments import (
     fig10_scaling,
     fig11_gpu,
     figx_faults,
+    figx_recovery,
     table1_asp,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "fig10_scaling",
     "fig11_gpu",
     "figx_faults",
+    "figx_recovery",
     "table1_asp",
 ]

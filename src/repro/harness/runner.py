@@ -27,7 +27,13 @@ import numpy as np
 from repro.config import DEFAULT_COLLECTIVE, CollectiveConfig, RuntimeConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.libraries.presets import LibraryModel, PreparedCollective, library_by_name
+from repro.libraries.presets import (
+    ADAPT_OPERATIONS,
+    LibraryModel,
+    PreparedCollective,
+    library_by_name,
+    prepare_operation,
+)
 from repro.machine.spec import MachineSpec
 from repro.mpi.communicator import Communicator
 from repro.mpi.ops import SUM, ReduceOp
@@ -59,6 +65,10 @@ class RunResult:
     metrics: Optional[dict] = None
     obs: Optional[dict] = None
     trace_truncated: bool = False
+    # Live recovery (repro.recovery): the membership protocol's agreed
+    # failed set (world ranks) and its worst suspect-to-commit latency.
+    failed_ranks: list = field(default_factory=list)
+    time_to_repair: Optional[float] = None
 
     def to_dict(self) -> dict:
         """JSON-able form (the parallel executor's wire/cache format)."""
@@ -77,6 +87,8 @@ class RunResult:
             "metrics": self.metrics,
             "obs": self.obs,
             "trace_truncated": self.trace_truncated,
+            "failed_ranks": list(self.failed_ranks),
+            "time_to_repair": self.time_to_repair,
         }
 
     @classmethod
@@ -159,6 +171,7 @@ def run_collective(
     sanitize: bool = False,
     time_limit: Optional[float] = None,
     observe: Optional[str] = None,
+    recover: bool = False,
 ) -> RunResult:
     """Measure one (library, operation, size, noise) point.
 
@@ -180,14 +193,26 @@ def run_collective(
     """
     if isinstance(library, str):
         library = library_by_name(library)
-    if operation not in ("bcast", "reduce"):
-        raise ValueError(f"unknown operation {operation!r}")
+    if operation not in ADAPT_OPERATIONS:
+        raise ValueError(
+            f"unknown operation {operation!r}; known: {list(ADAPT_OPERATIONS)}"
+        )
     if mode not in ("imb", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
     if observe not in (None, "metrics", "trace"):
         raise ValueError(f"unknown observe mode {observe!r}")
+    if recover and mode == "imb":
+        # Recovery launches every rank up front (the membership protocol
+        # owns relaunch), so per-rank iteration chaining has nothing to
+        # chain — run iterations back-to-back instead.
+        mode = "sequential"
     if runtime_config is None:
-        reliable = bool(fault_plan is not None and fault_plan.losses)
+        # Corruption needs the reliable transport too: a checksum-rejected
+        # rendezvous on the raw transport is just a lost message.
+        reliable = bool(
+            fault_plan is not None
+            and (fault_plan.losses or fault_plan.corrupts)
+        )
         runtime_config = RuntimeConfig(reliable=reliable)
     if fault_plan is not None and fault_plan.kills and time_limit is None:
         time_limit = 10.0
@@ -223,8 +248,8 @@ def run_collective(
             ranks=targets,
         )
         injectors.append(injector)
-    prepare = custom_algorithm or (
-        library.bcast if operation == "bcast" else library.reduce
+    prepare = custom_algorithm or prepare_operation(
+        library, operation, recover=recover
     )
     result = RunResult(
         library=library.name,
@@ -249,6 +274,15 @@ def run_collective(
         result.completed = bool(live) and all(h.done for h in live) and (
             len(live) == len(handles)
         )
+        membership = getattr(world, "membership", None)
+        if membership is not None:
+            result.failed_ranks = sorted(membership.view.failed)
+            result.time_to_repair = membership.time_to_repair()
+        elif live:
+            agreed: set = set()
+            for h in live:
+                agreed |= h.report.failed_ranks
+            result.failed_ranks = sorted(agreed)
         if observe is not None:
             from repro.obs.metrics import compute_metrics
 

@@ -29,17 +29,24 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.collectives import (
+    allgather_adapt,
+    allreduce_adapt,
+    alltoall_adapt,
+    barrier_adapt,
     bcast_adapt,
     bcast_blocking,
     bcast_nonblocking,
     bcast_scatter_allgather,
     bcast_tuned,
+    gather_adapt,
     reduce_adapt,
     reduce_blocking,
     reduce_nonblocking,
     reduce_rabenseifner,
+    reduce_scatter_adapt,
     reduce_shumilin,
     reduce_tuned,
+    scatter_adapt,
 )
 from repro.collectives.hierarchical import HierarchicalBcast, HierarchicalReduce
 from repro.collectives.base import CollectiveContext, CollectiveHandle
@@ -298,6 +305,86 @@ def intel_topo_reduce_variants() -> dict[str, Callable[..., CollectiveHandle]]:
         "Intel-topo-SHM-Knary": hier("binomial", "kary4", "SHM-knary"),
         "Intel-topo-SHM-binomial": hier("binomial", "binary", "SHM-binomial"),
     }
+
+
+# -- full ADAPT operation coverage (DESIGN.md S20) ------------------------------------
+
+#: Every collective the ADAPT framework implements. bcast/reduce go through
+#: the library models; the rest are ADAPT-only (the comparison libraries
+#: model bcast/reduce, the operations the paper measures).
+ADAPT_OPERATIONS = (
+    "bcast",
+    "reduce",
+    "scatter",
+    "gather",
+    "allreduce",
+    "allgather",
+    "reduce_scatter",
+    "alltoall",
+    "barrier",
+)
+
+_TREE_OPS = {
+    "bcast": bcast_adapt,
+    "reduce": reduce_adapt,
+    "scatter": scatter_adapt,
+    "gather": gather_adapt,
+    "allreduce": allreduce_adapt,
+    "barrier": barrier_adapt,
+}
+_RING_OPS = {
+    "allgather": allgather_adapt,
+    "reduce_scatter": reduce_scatter_adapt,
+    "alltoall": alltoall_adapt,
+}
+
+
+def prepare_operation(
+    library: LibraryModel, operation: str, *, recover: bool = False
+):
+    """Resolve (library, operation) to a prepare callable.
+
+    bcast/reduce without recovery go through the library model (the paper's
+    comparison surface); every other operation — and any operation with
+    ``recover=True`` — runs the ADAPT implementation on the topology-aware
+    tree (ring collectives are tree-free). With ``recover``, the launch goes
+    through :func:`repro.recovery.launch_recover`, which arms ULFM-style
+    membership agreement and epoch-restart/in-place repair; recovery
+    launches every rank up front, so per-rank iteration chaining degrades to
+    a single launch.
+    """
+    if operation not in ADAPT_OPERATIONS:
+        raise ValueError(
+            f"unknown operation {operation!r}; known: {list(ADAPT_OPERATIONS)}"
+        )
+    if not recover:
+        if operation == "bcast":
+            return library.bcast
+        if operation == "reduce":
+            return library.reduce
+
+    needs_op = operation in ("reduce", "allreduce", "reduce_scatter")
+
+    def prepare(comm, root, nbytes, config, data=None, op: ReduceOp = SUM, **kw):
+        tree = _topo_tree(comm, root) if operation in _TREE_OPS else None
+        ctx = _ctx(
+            comm, root, nbytes, config, tree=tree, data=data,
+            op=op if needs_op else None,
+        )
+        if not recover:
+            fn = _TREE_OPS.get(operation) or _RING_OPS[operation]
+            return _prepared(fn, ctx)
+
+        from repro.recovery import launch_recover
+
+        def launch(handle, ranks):
+            if handle is not None:
+                return handle  # all ranks launched by the first call
+            return launch_recover(operation, ctx)
+
+        return PreparedCollective(launch)
+
+    return prepare
 
 
 _LIBRARIES = {

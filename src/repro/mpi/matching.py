@@ -41,6 +41,11 @@ class InboundMessage:
     rendezvous_token: Any = None
     # Reliable transport only: per-sender delivery sequence number.
     seq: Optional[int] = None
+    # End-to-end integrity (DESIGN.md S20): sender checksum of the payload,
+    # and the in-flight corruption flag (models a checksum mismatch when the
+    # simulation carries no real payload bytes).
+    crc: Optional[int] = None
+    corrupt: bool = False
 
 
 @dataclass

@@ -26,6 +26,7 @@ reduction work runs on simulated CUDA streams instead of the host CPU.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -46,6 +47,25 @@ def _copy_payload(data: Any) -> Any:
     if isinstance(data, np.ndarray):
         return data.copy()
     return data
+
+
+def _payload_crc(data: Any) -> Optional[int]:
+    """Sender-side segment checksum (end-to-end integrity, DESIGN.md S20)."""
+    if isinstance(data, np.ndarray):
+        return zlib.crc32(np.ascontiguousarray(data).tobytes())
+    return None
+
+
+def _flip_bit(data: Any, bit: int) -> Any:
+    """A copy of ``data`` with one bit flipped (in-flight corruption)."""
+    if not isinstance(data, np.ndarray):
+        return data
+    out = np.ascontiguousarray(data).copy()
+    view = out.reshape(-1).view(np.uint8)
+    if view.size:
+        i = (bit // 8) % view.size
+        view[i] ^= np.uint8(1 << (bit % 8))
+    return out
 
 
 class _ReliableSend:
@@ -98,6 +118,8 @@ class RankRuntime:
         self.transmissions = 0       # wire attempts of reliable messages
         self.retransmits = 0
         self.acks_sent = 0
+        self.nacks_sent = 0          # corrupt arrivals bounced back for retransmit
+        self.checksum_rejects = 0    # deliveries refused on checksum mismatch
         self.sends_abandoned = 0     # retry budget exhausted (peer presumed dead)
         self.msgs_lost_dead = 0      # reliable messages that reached a dead rank
 
@@ -115,6 +137,24 @@ class RankRuntime:
         if self.world.sanitizer is not None:
             self.world.sanitizer.on_trace(self.engine.now, self.rank)
         self.world.trace.record(self.engine.now, self.rank, kind, detail)
+
+    def _roll_corrupt(self, dst: int, nbytes: int, tag: int) -> Optional[int]:
+        """Consult the installed fault filter for an in-flight bit flip.
+
+        Rolled at wire launch on the sender's CPU, so the rng consumption
+        order — the determinism contract — depends only on the sender-side
+        schedule. Returns the bit index to flip, or ``None``.
+        """
+        faults = self.world.fabric.faults
+        if faults is None:
+            return None
+        roll = getattr(faults, "corrupt_roll", None)
+        if roll is None:
+            return None
+        return roll(self.rank, dst, nbytes, tag)
+
+    def _integrity_armed(self) -> bool:
+        return self.world.fabric.faults is not None
 
     # -- non-blocking point-to-point -------------------------------------------
 
@@ -178,6 +218,9 @@ class RankRuntime:
     ) -> None:
         now = self.engine.now
         dst_rt = self.world.ranks[req.peer]
+        crc = _payload_crc(payload) if self._integrity_armed() else None
+        bit = self._roll_corrupt(req.peer, req.nbytes, req.tag)
+        wire_payload = payload if bit is None else _flip_bit(payload, bit)
 
         def on_wire_complete(flow) -> None:
             msg = InboundMessage(
@@ -185,8 +228,10 @@ class RankRuntime:
                 tag=req.tag,
                 nbytes=req.nbytes,
                 eager=True,
-                data=payload,
+                data=wire_payload,
                 arrival_time=self.engine.now,
+                crc=crc,
+                corrupt=bit is not None,
             )
             dst_rt._handle_arrival(msg)
 
@@ -261,6 +306,10 @@ class RankRuntime:
             self._transmit(state)
             return
         dst_rt = self.world.ranks[send_req.peer]
+        crc = _payload_crc(payload) if self._integrity_armed() else None
+        bit = self._roll_corrupt(send_req.peer, send_req.nbytes, send_req.tag)
+        wire_payload = payload if bit is None else _flip_bit(payload, bit)
+        corrupt = bit is not None
 
         def on_data_complete(flow) -> None:
             # Sender may reuse its buffer: complete the send request. The
@@ -268,7 +317,8 @@ class RankRuntime:
             self.cpu.execute(0.0, self._complete_send, send_req)
             # Receiver CPU processes delivery into the posted buffer.
             dst_rt.cpu.execute(
-                dst_rt._o, dst_rt._deliver, recv_req, payload
+                dst_rt._o, dst_rt._deliver_checked, recv_req, wire_payload,
+                corrupt, crc,
             )
 
         self.world.fabric.start_transfer(
@@ -346,12 +396,18 @@ class RankRuntime:
             )
             wire_bytes = self.world.config.control_bytes
         elif state.kind == "eager":
+            crc = _payload_crc(state.payload) if self._integrity_armed() else None
+            bit = self._roll_corrupt(req.peer, req.nbytes, req.tag)
+            wire_payload = (
+                state.payload if bit is None else _flip_bit(state.payload, bit)
+            )
+            corrupt = bit is not None
 
             def on_eager_wire(flow) -> None:
                 msg = InboundMessage(
                     src=req.rank, tag=req.tag, nbytes=req.nbytes, eager=True,
-                    data=state.payload, arrival_time=self.engine.now,
-                    seq=state.seq,
+                    data=wire_payload, arrival_time=self.engine.now,
+                    seq=state.seq, crc=crc, corrupt=corrupt,
                 )
                 dst_rt._handle_arrival(msg)
 
@@ -362,10 +418,17 @@ class RankRuntime:
             )
             wire_bytes = req.nbytes
         else:  # "data"
+            crc = _payload_crc(state.payload) if self._integrity_armed() else None
+            bit = self._roll_corrupt(req.peer, req.nbytes, req.tag)
+            wire_payload = (
+                state.payload if bit is None else _flip_bit(state.payload, bit)
+            )
+            corrupt = bit is not None
 
             def on_data_wire(flow) -> None:
                 dst_rt._rndv_data_wire(
-                    req.rank, state.seq, state.recv_req, state.payload
+                    req.rank, state.seq, state.recv_req, wire_payload,
+                    corrupt, crc,
                 )
 
             self.world.fabric.start_transfer(
@@ -422,6 +485,34 @@ class RankRuntime:
             lambda: sender_rt._on_ack_wire(seq),
         )
 
+    def _send_nack(self, dst: int, seq: int) -> None:
+        """Receiver side: the payload arrived but failed its checksum.
+
+        The NACK asks for an immediate retransmit instead of waiting out the
+        sender's retry timer — corruption is detected, not silent, so the
+        round trip is the only cost.
+        """
+        self.nacks_sent += 1
+        sender_rt = self.world.ranks[dst]
+        self.world.fabric.start_control(
+            self.rank, dst, self.world.config.control_bytes,
+            lambda: sender_rt._on_nack_wire(seq),
+        )
+
+    def _on_nack_wire(self, seq: int) -> None:
+        if not self.alive:
+            return
+        self.cpu.execute(self._o, self._process_nack, seq)
+
+    def _process_nack(self, seq: int) -> None:
+        state = self._reliable_pending.get(seq)
+        if state is None:
+            return  # already acked (stale nack) or abandoned
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        self._transmit(state)
+
     def _on_ack_wire(self, seq: int) -> None:
         if not self.alive:
             return
@@ -440,17 +531,37 @@ class RankRuntime:
             self._complete_send(state.req)
 
     def _rndv_data_wire(
-        self, src: int, seq: int, recv_req: Request, payload: Any
+        self,
+        src: int,
+        seq: int,
+        recv_req: Request,
+        payload: Any,
+        corrupt: bool = False,
+        crc: Optional[int] = None,
     ) -> None:
         """Reliable rendezvous data reached this rank (wire event)."""
         if not self.alive:
             self.msgs_lost_dead += 1
             return
-        self.cpu.execute(self._o, self._rndv_data_arrived, src, seq, recv_req, payload)
+        self.cpu.execute(
+            self._o, self._rndv_data_arrived, src, seq, recv_req, payload,
+            corrupt, crc,
+        )
 
     def _rndv_data_arrived(
-        self, src: int, seq: int, recv_req: Request, payload: Any
+        self,
+        src: int,
+        seq: int,
+        recv_req: Request,
+        payload: Any,
+        corrupt: bool = False,
+        crc: Optional[int] = None,
     ) -> None:
+        if self._checksum_failed(payload, corrupt, crc, src, recv_req.tag):
+            # No ack, no register_seq: the sequence number stays undelivered
+            # so the intact retransmit (NACK-triggered) is still fresh.
+            self._send_nack(src, seq)
+            return
         fresh = self.matcher.register_seq(src, seq)
         self._send_ack(src, seq)
         if not fresh:
@@ -483,6 +594,16 @@ class RankRuntime:
         self.cpu.execute(self._o, self._match_arrival, msg)
 
     def _match_arrival(self, msg: InboundMessage) -> None:
+        if msg.eager and self._checksum_failed(
+            msg.data, msg.corrupt, msg.crc, msg.src, msg.tag
+        ):
+            # Verified before matching so a corrupt payload never enters the
+            # unexpected queue. Reliable: NACK for an immediate retransmit
+            # (the seq was never registered, so the clean copy is fresh).
+            # Raw transport: integrity failure degenerates to a drop.
+            if msg.seq is not None:
+                self._send_nack(msg.src, msg.seq)
+            return
         if msg.seq is not None:
             # Reliable transport: ack every arrival (the sender's copy of a
             # duplicated or retransmitted message still needs silencing),
@@ -503,6 +624,29 @@ class RankRuntime:
             self._deliver(req, msg.data)
         else:
             self._rndv_send_cts(msg, req)
+
+    def _checksum_failed(
+        self, payload: Any, corrupt: bool, crc: Optional[int],
+        src: int, tag: int,
+    ) -> bool:
+        """Verify one arrival's end-to-end integrity; count+trace a failure."""
+        bad = corrupt or (
+            crc is not None
+            and payload is not None
+            and _payload_crc(payload) != crc
+        )
+        if bad:
+            self.checksum_rejects += 1
+            self._trace("crc-reject", f"<- {src} tag={tag}")
+        return bad
+
+    def _deliver_checked(
+        self, req: Request, payload: Any, corrupt: bool, crc: Optional[int]
+    ) -> None:
+        """Raw-transport rendezvous delivery with integrity verification."""
+        if self._checksum_failed(payload, corrupt, crc, req.peer, req.tag):
+            return  # unreliable path: a failed checksum is a drop
+        self._deliver(req, payload)
 
     def _deliver(self, req: Request, payload: Any) -> None:
         if req.completed:
@@ -623,6 +767,9 @@ class MpiWorld:
         self.failure_detector = None
         self._failure_subscribers: list = []
         self.failed_ranks: set[int] = set()
+        # Live recovery (repro.recovery): a MembershipService attaches here
+        # when ULFM-style agreement/shrink is requested.
+        self.membership: Any = None
         self._next_tag = 0
 
     def subscribe_failures(self, fn, cpu=None) -> None:
@@ -678,6 +825,8 @@ class MpiWorld:
             "transmissions": sum(rt.transmissions for rt in self.ranks),
             "retransmits": sum(rt.retransmits for rt in self.ranks),
             "acks_sent": sum(rt.acks_sent for rt in self.ranks),
+            "nacks_sent": sum(rt.nacks_sent for rt in self.ranks),
+            "checksum_rejects": sum(rt.checksum_rejects for rt in self.ranks),
             "sends_abandoned": sum(rt.sends_abandoned for rt in self.ranks),
             "msgs_lost_dead": sum(rt.msgs_lost_dead for rt in self.ranks),
             "duplicates_suppressed": sum(

@@ -20,6 +20,7 @@ from repro.obs.spans import ObsRecorder
 
 _PID_RANKS = 1
 _PID_LINKS = 2
+_PID_RECOVERY = 3
 
 #: Keys every complete event must carry (the validator's schema).
 _X_REQUIRED = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
@@ -29,6 +30,8 @@ def _tid(track: tuple[str, Any], link_ids: dict[str, int]) -> tuple[int, int]:
     kind, ident = track
     if kind == "rank":
         return _PID_RANKS, int(ident)
+    if kind == "recovery":
+        return _PID_RECOVERY, 0
     return _PID_LINKS, link_ids[ident]
 
 
@@ -48,6 +51,11 @@ def chrome_trace_events(obs: Union[ObsRecorder, dict]) -> list[dict]:
         events.append(
             {"name": "process_name", "ph": "M", "pid": _PID_LINKS, "tid": 0,
              "args": {"name": "links"}}
+        )
+    if any(kind == "recovery" for kind, _ in tracks):
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": _PID_RECOVERY, "tid": 0,
+             "args": {"name": "recovery"}}
         )
     for kind, ident in tracks:
         pid, tid = _tid((kind, ident), link_ids)

@@ -80,6 +80,11 @@ class MetricsReport:
     counters: dict[str, int] = field(default_factory=dict)
     span_count: int = 0
     spans_dropped: int = 0
+    # Live recovery (repro.recovery): ranks removed by the membership
+    # protocol's agreed views, and the worst suspect-to-commit latency
+    # (None when no repair ran).
+    degraded_ranks: list = field(default_factory=list)
+    time_to_repair: Optional[float] = None
 
     def link(self, name: str) -> LinkMetrics:
         for lm in self.links:
@@ -105,6 +110,8 @@ class MetricsReport:
             "counters": dict(sorted(self.counters.items())),
             "span_count": self.span_count,
             "spans_dropped": self.spans_dropped,
+            "degraded_ranks": list(self.degraded_ranks),
+            "time_to_repair": self.time_to_repair,
         }
 
     @classmethod
@@ -133,6 +140,10 @@ def compute_metrics(world: Any, elapsed: Optional[float] = None) -> MetricsRepor
         span_count=len(obs.spans),
         spans_dropped=obs.dropped,
     )
+    membership = getattr(world, "membership", None)
+    if membership is not None:
+        report.degraded_ranks = sorted(membership.view.failed)
+        report.time_to_repair = membership.time_to_repair()
     if elapsed <= 0.0:
         return report
 

@@ -26,6 +26,7 @@ CAT_CPU = "cpu"              # work occupying the rank's CPU
 CAT_NOISE = "noise"          # injected noise occupying the rank's CPU
 CAT_COLLECTIVE = "collective"  # one rank's participation in one collective
 CAT_FLOW = "flow"            # one transfer occupying one link
+CAT_RECOVERY = "recovery"    # one membership repair: first suspicion -> commit
 
 #: Wait kinds that count as synchronization (MPI_Wait*) — a sleeping proclet
 #: is idle by choice, not blocked on a peer.

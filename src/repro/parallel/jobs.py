@@ -24,7 +24,9 @@ from repro.faults.plan import FaultPlan
 #: must invalidate previously cached results.
 #: 2: observability fields (metrics/obs/trace_truncated) joined the result
 #: wire format and SimJob gained the ``observe`` knob.
-CACHE_SCHEMA = 2
+#: 3: live recovery — fault plans gained the ``corrupts`` kind, results the
+#: ``failed_ranks``/``time_to_repair`` fields, SimJob the ``recover`` knob.
+CACHE_SCHEMA = 3
 
 #: Algorithm-variant families resolvable by name in the worker
 #: (fig08 sweeps Intel's per-algorithm topology-aware variants).
@@ -57,6 +59,8 @@ class SimJob:
     fault_plan: Optional[FaultPlan] = None
     sanitize: bool = False
     time_limit: Optional[float] = None
+    # Live recovery (repro.recovery): membership agreement + repair/restart.
+    recover: bool = False
     # Observability: None (off), "metrics" (result.metrics only), or
     # "trace" (metrics + the full span dump for the Chrome exporter).
     observe: Optional[str] = None

@@ -116,6 +116,7 @@ def execute_job(job: SimJob) -> dict:
         sanitize=job.sanitize,
         time_limit=job.time_limit,
         observe=job.observe,
+        recover=job.recover,
     )
     out = res.to_dict()
     out["kind"] = "collective"

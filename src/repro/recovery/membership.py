@@ -1,0 +1,266 @@
+"""ULFM-style membership agreement: revoke, agree, shrink.
+
+When the :class:`~repro.faults.detector.FailureDetector` suspects a rank,
+survivors must converge on *one* failed set before repair can be consistent
+— ULFM's ``MPI_Comm_agree`` + ``MPI_Comm_shrink`` pair. This module models
+that protocol as engine events:
+
+1. **coalesce** — suspicions raised within a ``grace`` window fold into one
+   agreement round (a failure seldom travels alone);
+2. **collect** — the leader (lowest-ranked survivor) circulates a token
+   around the survivor ring; every hop merges locally-known suspicions, and
+   a hop that goes unacknowledged *adds the silent rank to the failed set*
+   (agreement doubles as detection, exactly ULFM's behaviour);
+3. **distribute** — a second ring pass carries the agreed set back out, and
+   the commit installs a new :class:`SurvivorView` with a bumped epoch.
+
+Every decision derives from engine order plus sorted sets — no RNG — so a
+seeded fault plan yields a byte-identical sequence of committed views,
+which is what the CI determinism check asserts across worker counts.
+
+Simplifications (documented in DESIGN.md S20): the walk survives a leader
+death (the token logic is engine-driven, not hosted on the leader's CPU),
+with an engine-level watchdog as the safety net for a stalled round; and
+per-rank commit *observation* is dispatched at global commit time on each
+survivor's own CPU, so a dead rank still never observes a view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mpi.runtime import MpiWorld
+
+
+@dataclass(frozen=True)
+class SurvivorView:
+    """One agreed membership epoch: who is out, who remains."""
+
+    epoch: int
+    failed: frozenset[int]
+    members: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"epoch={self.epoch} failed={sorted(self.failed)} "
+            f"members={len(self.members)}"
+        )
+
+
+class MembershipService:
+    """Drives agreement rounds over a world's ranks.
+
+    Subscribers receive each committed :class:`SurvivorView`. A subscriber
+    registered with a ``rank`` observes commits as work on that rank's CPU
+    (a dead rank never observes; a noisy one observes late); a global
+    subscriber (``rank=None``) observes via a zero-delay engine event at
+    commit time.
+    """
+
+    def __init__(
+        self,
+        world: MpiWorld,
+        grace: float = 5e-4,
+        hop_timeout: float = 2e-3,
+    ):
+        self.world = world
+        self.grace = grace
+        self.hop_timeout = hop_timeout
+        self.view = SurvivorView(0, frozenset(), tuple(range(world.nranks)))
+        #: Determinism contract: ``(time, kind, detail)`` like the injector's.
+        self.timeline: list[tuple[float, str, str]] = []
+        #: ``(first_suspect_time, commit_time)`` per committed epoch — the
+        #: obs layer's time-to-repair metric reads this.
+        self.repair_times: list[tuple[float, float]] = []
+        self.rounds_run = 0
+        self._pending: set[int] = set()
+        self._round_active = False
+        self._round_timer = None
+        self._watchdog = None
+        self._first_suspect_t: Optional[float] = None
+        self._subs: list[tuple[Callable[[SurvivorView], None], Optional[int]]] = []
+        world.membership = self
+        world.subscribe_failures(self._on_suspect)
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(
+        self, fn: Callable[[SurvivorView], None], rank: Optional[int] = None
+    ) -> None:
+        self._subs.append((fn, rank))
+        if self.view.epoch > 0:
+            # Late subscriber: replay the current view (same reasoning as the
+            # failure detector's replay — a collective launched after a
+            # shrink must still learn of it).
+            self._dispatch_one(fn, rank, self.view)
+
+    def _dispatch_one(
+        self, fn: Callable[[SurvivorView], None], rank: Optional[int],
+        view: SurvivorView,
+    ) -> None:
+        if rank is None:
+            self.world.engine.call_after(0.0, fn, view)
+        else:
+            self.world.ranks[rank].cpu.when_available(fn, view)
+
+    # -- suspicion intake -----------------------------------------------------
+
+    def _on_suspect(self, rank: int) -> None:
+        if rank in self.view.failed or rank in self._pending:
+            return
+        self._pending.add(rank)
+        now = self.world.engine.now
+        if self._first_suspect_t is None:
+            self._first_suspect_t = now
+        self.timeline.append((now, "suspect", f"rank {rank}"))
+        if not self._round_active and self._round_timer is None:
+            self._round_timer = self.world.engine.call_after(
+                self.grace, self._start_round
+            )
+
+    # -- agreement round ------------------------------------------------------
+
+    def _start_round(self) -> None:
+        self._round_timer = None
+        if self._round_active or not self._pending:
+            return
+        self._round_active = True
+        self.rounds_run += 1
+        proposed = set(self.view.failed) | set(self._pending)
+        live = [r for r in self.view.members if r not in proposed]
+        token = {"failed": proposed}
+        self.timeline.append(
+            (self.world.engine.now, "round",
+             f"#{self.rounds_run} proposing {sorted(proposed)}")
+        )
+        if not live:
+            # No survivors to agree among; commit the ground truth directly.
+            self._commit(token)
+            return
+        budget = self.hop_timeout * (2 * len(live) + 4)
+        self._watchdog = self.world.engine.call_after(
+            budget, self._watchdog_fired
+        )
+        self._walk(live, 1, token, "collect")
+
+    def _walk(self, ring: list, idx: int, token: dict, phase: str) -> None:
+        """Deliver the token to ``ring[idx]``; a silent hop marks it failed."""
+        if not self._round_active:
+            return  # the watchdog abandoned this round
+        if idx >= len(ring):
+            if phase == "collect":
+                live = [r for r in ring if r not in token["failed"]]
+                self._walk(live, 1, token, "distribute")
+            else:
+                self._commit(token)
+            return
+        dst = ring[idx]
+        if dst in token["failed"]:
+            self._walk(ring, idx + 1, token, phase)
+            return
+        src = ring[idx - 1]
+        settled = {"done": False}
+        world = self.world
+
+        def process() -> None:
+            if settled["done"] or not self._round_active:
+                return
+            settled["done"] = True
+            timer.cancel()
+            if phase == "collect":
+                # Merge this rank's local suspicions into the token.
+                token["failed"] |= {
+                    r for r in self._pending if r not in token["failed"]
+                }
+            self._walk(ring, idx + 1, token, phase)
+
+        def on_arrive() -> None:
+            rt = world.ranks[dst]
+            if not rt.alive:
+                return  # the timeout declares it
+            rt.cpu.execute(rt._o, process)
+
+        def on_timeout() -> None:
+            if settled["done"] or not self._round_active:
+                return
+            settled["done"] = True
+            token["failed"].add(dst)
+            self.timeline.append(
+                (world.engine.now, "silent",
+                 f"rank {dst} unresponsive during {phase}")
+            )
+            self._walk(ring, idx + 1, token, phase)
+
+        world.fabric.start_control(
+            src, dst, world.config.control_bytes, on_arrive
+        )
+        timer = world.engine.call_after(self.hop_timeout, on_timeout)
+
+    def _watchdog_fired(self) -> None:
+        if not self._round_active:
+            return
+        self._watchdog = None
+        self._round_active = False
+        self.timeline.append(
+            (self.world.engine.now, "watchdog", "round stalled; restarting")
+        )
+        self._round_timer = self.world.engine.call_after(
+            self.grace, self._start_round
+        )
+
+    def _commit(self, token: dict) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        failed = frozenset(token["failed"])
+        members = tuple(
+            r for r in range(self.world.nranks) if r not in failed
+        )
+        view = SurvivorView(self.view.epoch + 1, failed, members)
+        self.view = view
+        now = self.world.engine.now
+        self.timeline.append((now, "commit", view.describe()))
+        if self._first_suspect_t is not None:
+            self.repair_times.append((self._first_suspect_t, now))
+            obs = self.world.obs
+            if obs is not None:
+                # One span per repair on a dedicated track: suspicion to
+                # commit, labelled with the agreed set (Chrome trace shows
+                # time-to-repair as a bar above the rank tracks).
+                obs.add(
+                    "recovery",
+                    f"repair epoch {view.epoch}: failed={sorted(failed)}",
+                    ("recovery", "membership"),
+                    self._first_suspect_t,
+                    now,
+                )
+                obs.count("membership_commits")
+        self._first_suspect_t = None
+        self._round_active = False
+        self._pending -= set(failed)
+        for fn, rank in list(self._subs):
+            if rank is not None and rank in failed:
+                continue  # dead subscribers never observe the shrink
+            self._dispatch_one(fn, rank, view)
+        if self._pending and self._round_timer is None:
+            # Suspicions raised after the collect pass sampled them.
+            self._round_timer = self.world.engine.call_after(
+                self.grace, self._start_round
+            )
+
+    # -- metrics surface ------------------------------------------------------
+
+    def time_to_repair(self) -> Optional[float]:
+        """Worst suspect-to-commit latency across committed epochs."""
+        if not self.repair_times:
+            return None
+        return max(t1 - t0 for t0, t1 in self.repair_times)
+
+
+def ensure_membership(world: MpiWorld, **kwargs) -> MembershipService:
+    """The world's membership service, creating one on first use."""
+    existing = getattr(world, "membership", None)
+    if existing is not None:
+        return existing
+    return MembershipService(world, **kwargs)

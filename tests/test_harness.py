@@ -71,7 +71,7 @@ class TestRunner:
 
     def test_invalid_operation_rejected(self):
         with pytest.raises(ValueError):
-            run_collective(small_test_machine(), 8, "OMPI-adapt", "gather", 1024)
+            run_collective(small_test_machine(), 8, "OMPI-adapt", "prefix_scan", 1024)
 
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError):

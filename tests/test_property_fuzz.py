@@ -25,6 +25,7 @@ from repro.analysis.lint import lint
 from repro.collectives import (
     allgather_adapt,
     allreduce_adapt,
+    alltoall_adapt,
     barrier_adapt,
     bcast_adapt,
     gather_adapt,
@@ -53,6 +54,7 @@ COLLECTIVES = {
     "barrier": (barrier_adapt, None, True),
     "allgather": (allgather_adapt, "per-rank-block", False),
     "reduce_scatter": (reduce_scatter_adapt, "per-rank-full", False),
+    "alltoall": (alltoall_adapt, "per-rank-full", False),
 }
 ORDER = list(COLLECTIVES)
 TREES = {
@@ -174,6 +176,13 @@ def check_oracle(case: dict, handle, data) -> None:
         for r, (off, ln) in enumerate(ranges):
             np.testing.assert_array_equal(_out(handle, r), full[off:off + ln],
                                           err_msg=f"reduce_scatter rank {r}")
+    elif name == "alltoall":
+        for r, (off, ln) in enumerate(ranges):
+            expected = np.concatenate(
+                [data[s][off:off + ln] for s in range(nranks)]
+            )
+            np.testing.assert_array_equal(_out(handle, r), expected,
+                                          err_msg=f"alltoall rank {r}")
     else:
         assert name == "barrier"  # completion is the property
 
@@ -221,6 +230,177 @@ def test_fuzz_case(fuzz_seed, idx):
     assert sync == [], f"case {idx} ({case}): sync edges"
     report = lint(graph)
     assert report.ok, f"case {idx} ({case}): {report.render()}"
+
+
+# -- recovery sweep ----------------------------------------------------------
+#
+# Same property-based style, faults armed: every ADAPT collective is launched
+# through the live-recovery front door (repro.recovery.launch_recover) and
+# either one non-root rank is killed mid-flight or the fabric corrupts a
+# sampled fraction of transfers. The oracle shrinks to the survivors:
+#
+# * corrupt cases keep the *full* bit-exact oracle — checksums + NACK
+#   retransmits must repair every flip transparently;
+# * kill cases check survivor-exactness: delivery collectives (bcast,
+#   scatter) give every survivor its exact payload; aggregation collectives
+#   (reduce family, gather) converge on the fold/concat over the survivor
+#   contributions via epoch restart; block exchanges (allgather, alltoall)
+#   give survivors exact survivor-origin blocks with the dead origin's block
+#   either delivered pre-death or zero-filled; barrier completes.
+
+N_RECOVERY_CASES = 72
+
+
+def make_recovery_case(seed: int, idx: int) -> dict:
+    rng = random.Random((seed << 21) ^ (idx * 2654435761))
+    name = ORDER[idx % len(ORDER)]
+    nranks = rng.randint(4, 10)
+    root = rng.randrange(nranks)
+    victim = rng.choice([r for r in range(nranks) if r != root])
+    regime = rng.choice(["tiny", "segments", "big"])
+    if regime == "tiny":
+        nbytes = rng.randint(nranks, 256)
+    elif regime == "segments":
+        nbytes = rng.randint(257, 8 * 1024)
+    else:
+        nbytes = rng.randint(8 * 1024 + 1, 24 * 1024)
+    return {
+        "collective": name,
+        "nranks": nranks,
+        "root": root,
+        "nbytes": nbytes,
+        "segment_size": rng.choice([512, 1024, 2048]),
+        "inflight_sends": rng.randint(1, 3),
+        "posted_recvs": rng.randint(1, 4),
+        "tree": rng.choice(list(TREES)),
+        "op": rng.choice(["sum", "max"]),
+        "data_seed": rng.randrange(2**31),
+        "scenario": "kill" if idx % 2 == 0 else "corrupt",
+        "victim": victim,
+        "kill_time": rng.uniform(5e-5, 6e-4),
+        "detect_delay": rng.uniform(1e-4, 3e-4),
+        "corrupt_rate": rng.uniform(0.02, 0.12),
+        "fault_seed": rng.randrange(2**31),
+    }
+
+
+def check_survivor_oracle(case: dict, handle, data) -> None:
+    """Bit-exact comparison against the survivor-restricted oracle."""
+    name = case["collective"]
+    nranks, nbytes, victim = case["nranks"], case["nbytes"], case["victim"]
+    live = [r for r in range(nranks) if r != victim]
+    op = SUM if case["op"] == "sum" else MAX
+    ranges = block_ranges(nbytes, nranks)
+    fold_live = None
+    if COLLECTIVES[name][1] == "per-rank-full" and name != "alltoall":
+        fold_live = _fold({r: data[r] for r in live}, op)
+    if name == "bcast":
+        for r in live:
+            np.testing.assert_array_equal(_out(handle, r), data,
+                                          err_msg=f"bcast survivor {r}")
+    elif name == "scatter":
+        for r in live:
+            off, ln = ranges[r]
+            np.testing.assert_array_equal(_out(handle, r), data[off:off + ln],
+                                          err_msg=f"scatter survivor {r}")
+    elif name == "reduce":
+        np.testing.assert_array_equal(_out(handle, case["root"]), fold_live,
+                                      err_msg="reduce root (survivor fold)")
+    elif name == "gather":
+        expected = np.concatenate([data[r] for r in live])
+        np.testing.assert_array_equal(_out(handle, case["root"]), expected,
+                                      err_msg="gather root (survivor concat)")
+    elif name == "allreduce":
+        for r in live:
+            np.testing.assert_array_equal(_out(handle, r), fold_live,
+                                          err_msg=f"allreduce survivor {r}")
+    elif name == "allgather":
+        # Epoch restart: the dead origin's block is zero-filled everywhere.
+        expected = np.concatenate(
+            [data[s] if s != victim else np.zeros(ranges[s][1], dtype=np.uint8)
+             for s in range(nranks)]
+        )
+        for r in live:
+            np.testing.assert_array_equal(_out(handle, r), expected,
+                                          err_msg=f"allgather survivor {r}")
+    elif name == "reduce_scatter":
+        for r in live:
+            off, ln = ranges[r]
+            np.testing.assert_array_equal(
+                _out(handle, r), fold_live[off:off + ln],
+                err_msg=f"reduce_scatter survivor {r}")
+    elif name == "alltoall":
+        # In-place repair: a survivor keeps the dead origin's block if it
+        # arrived before the death, zero-fills it otherwise.
+        for r in live:
+            off, ln = ranges[r]
+            out = _out(handle, r)
+            pos = 0
+            for s in range(nranks):
+                blk = out[pos:pos + ln]
+                exact = data[s][off:off + ln]
+                if s == victim:
+                    assert (
+                        np.array_equal(blk, exact)
+                        or not blk.any()
+                    ), f"alltoall survivor {r}: dead-origin block mangled"
+                else:
+                    np.testing.assert_array_equal(
+                        blk, exact,
+                        err_msg=f"alltoall survivor {r} block from {s}")
+                pos += ln
+    else:
+        assert name == "barrier"  # survivor completion is the property
+    for r in live:
+        assert r in handle.done_time, f"{name}: survivor {r} never completed"
+
+
+@pytest.mark.parametrize("idx", range(N_RECOVERY_CASES))
+def test_recovery_fuzz_case(fuzz_seed, idx):
+    from repro.config import RuntimeConfig
+    from repro.faults import FaultInjector, FaultPlan, KillSpec
+    from repro.faults.plan import CorruptSpec
+    from repro.recovery import launch_recover
+
+    case = make_recovery_case(fuzz_seed, idx)
+    name = case["collective"]
+    kill = case["scenario"] == "kill"
+    if kill:
+        plan = FaultPlan(
+            kills=[KillSpec(rank=case["victim"], time=case["kill_time"])],
+            detect_delay=case["detect_delay"], seed=case["fault_seed"],
+        )
+    else:
+        plan = FaultPlan(
+            corrupts=[CorruptSpec(rate=case["corrupt_rate"])],
+            seed=case["fault_seed"],
+        )
+    world = MpiWorld(
+        small_test_machine(), case["nranks"], carry_data=True,
+        config=RuntimeConfig(reliable=not kill),
+        # A fail-stop legitimately strands wreckage mid-schedule; the
+        # depgraph linter owns that case (stranded-survivor), not the
+        # runtime sanitizer.
+        sanitize=not kill,
+    )
+    data = _payload(case)
+    handle = launch_recover(name, _context(case, world, data))
+    FaultInjector(world, plan).arm(1.0)
+    world.run()
+    assert handle.done, f"recovery case {idx} ({case}): incomplete schedule"
+    if kill:
+        assert world.membership.view.epoch >= 1, (
+            f"recovery case {idx}: the kill never reached agreement"
+        )
+        assert sorted(world.membership.view.failed) == [case["victim"]]
+        check_survivor_oracle(case, handle, data)
+        assert handle.report.epoch >= 1
+    else:
+        # Integrity repair is transparent: the full fault-free oracle holds
+        # and every checksum rejection was NACKed and retransmitted.
+        check_oracle(case, handle, data)
+        stats = world.transport_stats()
+        assert stats.get("checksum_rejects", 0) == stats.get("nacks_sent", 0)
 
 
 class TestSweepDeterminism:
