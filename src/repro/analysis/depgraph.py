@@ -63,6 +63,9 @@ class OpNode:
     nbytes: int = 0
     posted_at: float = 0.0
     completed_at: Optional[float] = None
+    # True when the request was withdrawn (MPI_Cancel-like) rather than
+    # delivered: resolved by identity, never counted as unmatched/leaked.
+    cancelled: bool = False
 
     def describe(self) -> str:
         if self.kind == "send":
@@ -202,7 +205,7 @@ class GraphRecorder:
     call :meth:`finalize` after the world quiesces.
     """
 
-    def __init__(self, world: Any):
+    def __init__(self, world: Any) -> None:
         self.world = world
         self.nodes: dict[int, OpNode] = {}
         self.dep_edges: list[DepEdge] = []
@@ -220,7 +223,7 @@ class GraphRecorder:
 
     # -- node/edge plumbing ----------------------------------------------------
 
-    def _new_node(self, kind: str, rank: int, **kw) -> OpNode:
+    def _new_node(self, kind: str, rank: int, **kw: Any) -> OpNode:
         self._next_id += 1
         node = OpNode(
             nid=self._next_id, kind=kind, rank=rank,
@@ -309,6 +312,26 @@ class GraphRecorder:
                 self._matched_sends.add(send_nid)
                 self._add_dep(send_nid, nid, DATA, "match")
 
+    def op_cancelled(self, req: Request) -> None:
+        """A request was withdrawn (e.g. a recovery re-graft cancelling a
+        recv from inside another request's completion callback).
+
+        Resolution is by request identity: whatever schedule position the
+        cancel happens at — including inside a callback registered after a
+        wait already sampled its gates — the same node is marked resolved,
+        so the linter never misreads the request as leaked.
+        """
+        nid = self._req_node.get(req)
+        if nid is None:
+            return
+        node = self.nodes[nid]
+        node.completed_at = self.world.engine.now
+        node.cancelled = True
+        if req.kind == "send":
+            queue = self._send_queue.get((req.rank, req.peer, req.tag))
+            if queue and nid in queue:
+                queue.remove(nid)
+
     def run_callback(self, req: Request, fn: Callable[[Request], None]) -> None:
         """Execute a user completion callback inside a recorded context."""
         req_nid = self._req_node.get(req)
@@ -328,8 +351,8 @@ class GraphRecorder:
         rank: int,
         nbytes: int,
         tag: Optional[int],
-        fn: Optional[Callable],
-        args: tuple,
+        fn: Optional[Callable[..., Any]],
+        args: tuple[Any, ...],
     ) -> Callable[[], None]:
         """Record a local reduction; returns the wrapped continuation."""
         node = self._new_node("reduce", rank, tag=tag, nbytes=nbytes)
@@ -348,7 +371,9 @@ class GraphRecorder:
 
     # -- proclet-facing hooks ----------------------------------------------------
 
-    def compute_posted(self, rank: int, gate: Optional[tuple[str, tuple]]) -> int:
+    def compute_posted(
+        self, rank: int, gate: Optional[tuple[str, tuple[Any, ...]]]
+    ) -> int:
         """A proclet yielded Compute; returns the compute node id."""
         node = self._new_node("compute", rank)
         if gate is not None:
@@ -455,7 +480,9 @@ class GraphRecorder:
         )
 
 
-def record(world: Any, launch: Callable[[], Any], meta: Optional[dict] = None) -> DepGraph:
+def record(
+    world: Any, launch: Callable[[], Any], meta: Optional[dict[str, Any]] = None
+) -> DepGraph:
     """Attach a recorder to ``world``, run ``launch()``, drive to quiescence,
     and return the extracted graph. The world must not already have an
     observer; recording composes with (but does not require) the sanitizer."""

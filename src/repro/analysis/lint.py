@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.analysis.depgraph import DepGraph
+from repro.analysis.depgraph import DepGraph, OpNode
 from repro.harness.report import format_findings, format_table
 
 ERROR = "error"
@@ -57,7 +57,7 @@ class Finding:
     tag: Optional[int] = None
     path: tuple[str, ...] = ()
 
-    def as_row(self) -> tuple:
+    def as_row(self) -> tuple[str, ...]:
         def cell(v: object) -> str:
             return "-" if v is None else str(v)
 
@@ -198,8 +198,18 @@ def _find_deadlock(graph: DepGraph) -> list[Finding]:
 
 def _find_unmatched(graph: DepGraph) -> list[Finding]:
     findings: list[Finding] = []
-    sends = [graph.nodes[n] for n in graph.unmatched_sends]
-    recvs = [graph.nodes[n] for n in graph.unmatched_recvs]
+    # Resolution is by request identity (the recorder's op_cancelled hook):
+    # a request completed or withdrawn inside a callback — even one
+    # registered after a wait already sampled its gates — is accounted for
+    # and must never be re-counted here from post-order bookkeeping.
+    sends = [
+        n for n in (graph.nodes[i] for i in graph.unmatched_sends)
+        if not n.cancelled
+    ]
+    recvs = [
+        n for n in (graph.nodes[i] for i in graph.unmatched_recvs)
+        if not n.cancelled
+    ]
     blocked_ids = {nid for b in graph.blocked for nid in b.pending}
     # Recovery semantics (DESIGN.md S20): in a run where ranks fail-stopped,
     # an unmatched operation *touching* a dead rank is expected debris (the
@@ -208,7 +218,7 @@ def _find_unmatched(graph: DepGraph) -> list[Finding]:
     # the exact invariant the re-grafting engine must uphold.
     failed = set(graph.meta.get("failed_ranks", ()))
     if failed:
-        def strands(node) -> bool:
+        def strands(node: OpNode) -> bool:
             if node.rank in failed or node.peer in failed:
                 return False
             # A zero-byte survivor-to-survivor send is repair debris (a

@@ -41,7 +41,7 @@ class SanitizerError(AssertionError):
 class Sanitizer:
     """Per-world invariant checker (see module docstring)."""
 
-    def __init__(self, world: Any):
+    def __init__(self, world: Any) -> None:
         self.world = world
         self._pending: dict[Any, float] = {}  # request -> post time
         self._last_trace: dict[int, float] = {}
@@ -119,7 +119,7 @@ class Sanitizer:
         if getattr(self.world.config, "reliable", False):
             self._check_transport_conservation(failed)
 
-    def _check_transport_conservation(self, failed: set) -> None:
+    def _check_transport_conservation(self, failed: set[int]) -> None:
         """Reliable transport: wire attempts must all be accounted for."""
         self.checks_run += 1
         world = self.world

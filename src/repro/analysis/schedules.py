@@ -12,7 +12,7 @@ shape, not timing, so any transport cost model yields the same graph.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.analysis.depgraph import DepGraph, record
 from repro.collectives import (
@@ -39,7 +39,7 @@ from repro.mpi.runtime import MpiWorld
 from repro.trees import binary_tree, binomial_tree, chain_tree, flat_tree
 from repro.trees.base import Tree
 
-SCHEDULES: dict[str, Callable] = {
+SCHEDULES: dict[str, Callable[..., Any]] = {
     "bcast-blocking": bcast_blocking,
     "bcast-nonblocking": bcast_nonblocking,
     "bcast-adapt": bcast_adapt,
@@ -63,10 +63,12 @@ TREES: dict[str, Callable[[int], Tree]] = {
 }
 
 # Schedule names the CLI accepts beyond the real collectives.
-DEMO_SCHEDULES = ("deadlock-demo", "tag-mismatch-demo", "recovery-demo")
+DEMO_SCHEDULES = (
+    "deadlock-demo", "tag-mismatch-demo", "recovery-demo", "race-demo",
+)
 
 
-def _recording_world(
+def recording_world(
     nranks: int,
     config: Optional[RuntimeConfig] = None,
     trace: bool = False,
@@ -100,7 +102,8 @@ def analyze_schedule(
     except KeyError:
         raise ValueError(f"unknown tree {tree!r}; choose from {sorted(TREES)}") from None
     config = config or CollectiveConfig(segment_size=64 * 1024)
-    world = _recording_world(nranks, config=runtime_config)
+    runtime_config = runtime_config or RuntimeConfig()
+    world = recording_world(nranks, config=runtime_config)
     comm = Communicator(world)
     shape = tree_builder(nranks).reroot_relabelled(root)
     ctx = CollectiveContext(comm, root, nbytes, config, tree=shape)
@@ -114,6 +117,7 @@ def analyze_schedule(
             "nbytes": nbytes,
             "segments": len(config.segments_for(nbytes)),
             "root": root,
+            "eager_threshold": runtime_config.eager_threshold,
         },
     )
     graph.stats.posted_recvs_window = config.posted_recvs
@@ -131,6 +135,8 @@ def analyze_demo(name: str, nranks: int = 2, nbytes: int = 256 * 1024) -> DepGra
         return tag_mismatch_demo(nbytes=min(nbytes, 4 * 1024))
     if name == "recovery-demo":
         return recovery_demo(nranks=max(4, nranks), nbytes=nbytes)
+    if name == "race-demo":
+        return race_demo(nbytes=min(nbytes, 4 * 1024))
     raise ValueError(f"unknown demo schedule {name!r}")
 
 
@@ -145,9 +151,9 @@ def deadlock_demo(nranks: int = 2, nbytes: int = 256 * 1024) -> DepGraph:
     """
     # Force rendezvous so the sends truly block (eager sends buffer locally).
     rcfg = RuntimeConfig(eager_threshold=min(1024, nbytes - 1))
-    world = _recording_world(nranks, config=rcfg)
+    world = recording_world(nranks, config=rcfg)
 
-    def program(rank: int, peer: int):
+    def program(rank: int, peer: int) -> Iterator[Any]:
         rt = world.ranks[rank]
         yield rt.isend(peer, tag=rank, nbytes=nbytes)       # blocks forever
         yield rt.irecv(peer, tag=peer, nbytes=nbytes)       # never reached
@@ -159,7 +165,10 @@ def deadlock_demo(nranks: int = 2, nbytes: int = 256 * 1024) -> DepGraph:
 
     return record(
         world, launch,
-        meta={"schedule": "deadlock-demo", "nranks": nranks, "nbytes": nbytes},
+        meta={
+            "schedule": "deadlock-demo", "nranks": nranks, "nbytes": nbytes,
+            "eager_threshold": rcfg.eager_threshold,
+        },
     )
 
 
@@ -173,17 +182,17 @@ def recovery_demo(nranks: int = 8, nbytes: int = 256 * 1024) -> DepGraph:
     ``stranded-survivor``: the proof that recovery schedules stay
     deadlock-free (the property the CI lint job asserts).
     """
-    from repro.faults import FaultInjector, FaultPlan, KillSpec
+    from repro.faults import FaultInjector, FaultPlan
     from repro.recovery import launch_recover
     from repro.trees import topology_aware_tree
 
-    world = _recording_world(nranks)
+    world = recording_world(nranks)
     comm = Communicator(world)
     config = CollectiveConfig(segment_size=16 * 1024)
     tree = topology_aware_tree(world.topology, list(comm.ranks), 0)
     ctx = CollectiveContext(comm, 0, nbytes, config, tree=tree)
     victim = min(nranks - 1, 2)
-    plan = FaultPlan(kills=[KillSpec(rank=victim, time=2e-4)], detect_delay=2e-4)
+    plan = FaultPlan.single_kill(victim, 2e-4, detect_delay=2e-4)
 
     def launch() -> None:
         launch_recover("bcast", ctx)
@@ -194,18 +203,19 @@ def recovery_demo(nranks: int = 8, nbytes: int = 256 * 1024) -> DepGraph:
         meta={
             "schedule": "recovery-demo", "nranks": nranks, "nbytes": nbytes,
             "victim": victim,
+            "eager_threshold": world.config.eager_threshold,
         },
     )
 
 
 def tag_mismatch_demo(nbytes: int = 4 * 1024) -> DepGraph:
     """Sender and receiver disagree on the tag: both sides orphan."""
-    world = _recording_world(2)
+    world = recording_world(2)
 
-    def sender():
+    def sender() -> Iterator[Any]:
         yield world.ranks[0].isend(1, tag=7, nbytes=nbytes)  # eager: completes
 
-    def receiver():
+    def receiver() -> Iterator[Any]:
         yield world.ranks[1].irecv(0, tag=8, nbytes=nbytes)  # never matched
 
     def launch() -> None:
@@ -214,5 +224,48 @@ def tag_mismatch_demo(nbytes: int = 4 * 1024) -> DepGraph:
 
     return record(
         world, launch,
-        meta={"schedule": "tag-mismatch-demo", "nranks": 2, "nbytes": nbytes},
+        meta={
+            "schedule": "tag-mismatch-demo", "nranks": 2, "nbytes": nbytes,
+            "eager_threshold": world.config.eager_threshold,
+        },
+    )
+
+
+def race_demo(nbytes: int = 4 * 1024) -> DepGraph:
+    """Two same-key messages in flight at once: a message race.
+
+    Rank 0 fires two eager sends to rank 1 on the *same* tag back to back;
+    rank 1 posts two recvs for that tag. The simulator's in-order fabric
+    happens to deliver them in post order, so the run completes and the
+    single-interleaving linter sees nothing wrong — but a reordering
+    network may swap the payloads. Only exhaustive interleaving exploration
+    (``repro verify``) catches this: at some reachable state both sends are
+    simultaneously unmatched, so the recv's match is arrival-order-dependent
+    and the schedule is not deterministic.
+    """
+    world = recording_world(2)
+    tag = 5
+
+    def sender() -> None:
+        rt = world.ranks[0]
+        first = rt.isend(1, tag=tag, nbytes=nbytes)
+        # Eager: completes locally at once, so the second same-tag send is
+        # in flight while the first may still be crossing the fabric.
+        first.add_callback(lambda _r: rt.isend(1, tag=tag, nbytes=nbytes))
+
+    def receiver() -> None:
+        rt = world.ranks[1]
+        rt.irecv(0, tag=tag, nbytes=nbytes)
+        rt.irecv(0, tag=tag, nbytes=nbytes)
+
+    def launch() -> None:
+        world.ranks[0].cpu.when_available(sender)
+        world.ranks[1].cpu.when_available(receiver)
+
+    return record(
+        world, launch,
+        meta={
+            "schedule": "race-demo", "nranks": 2, "nbytes": nbytes,
+            "eager_threshold": world.config.eager_threshold,
+        },
     )

@@ -254,6 +254,67 @@ def build_parser() -> argparse.ArgumentParser:
     plint.add_argument("--inflight-sends", type=int, default=None,
                        help="send window N (default: collective config)")
 
+    pverify = sub.add_parser(
+        "verify",
+        help="model-check a schedule: explore every interleaving (DPOR)",
+        description="Extract a recorded schedule as a transition system and "
+        "exhaustively explore every inequivalent message-match ordering "
+        "(dynamic partial-order reduction; key-unique models collapse to "
+        "one representative interleaving, ambiguous ones fall back to full "
+        "enumeration). Checks deadlock-freedom, schedule determinism "
+        "(wildcard/tag races), and stranded eager sends; --kill-sweep "
+        "additionally certifies the recovery path by symbolically killing "
+        "each non-root rank at every explored state. Violations print a "
+        "step-by-step counterexample and can be saved (--counterexample) "
+        "as replayable JSON traces; --replay re-executes a saved trace and "
+        "--chrome renders it for chrome://tracing. Exit status: 0 verified "
+        "(or a demo produced its expected violation), 1 violations, "
+        "2 budget exhausted.",
+    )
+    from repro.collectives.models import VERIFY_MODELS
+
+    pverify.add_argument("--collective", action="append", default=None,
+                         dest="collectives", metavar="NAME",
+                         choices=sorted(VERIFY_MODELS),
+                         help="schedule to verify (repeatable; default: the "
+                         "nine ADAPT collectives)")
+    pverify.add_argument("--all", action="store_true",
+                         help="verify every registered model, demos included")
+    pverify.add_argument("--ranks", type=int, default=6)
+    pverify.add_argument("--tree", default="binary", choices=sorted(TREES))
+    pverify.add_argument("--nbytes", type=int, default=64 * 1024)
+    pverify.add_argument("--segment-size", type=int, default=16 * 1024)
+    pverify.add_argument("--root", type=int, default=0)
+    pverify.add_argument("--kill-sweep", action="store_true",
+                         help="also certify recovery: symbolically kill each "
+                         "non-root rank at every explored state")
+    pverify.add_argument("--naive", action="store_true",
+                         help="force full enumeration (no DPOR) — the "
+                         "comparison baseline, capped by --naive-cap")
+    pverify.add_argument("--naive-cap", type=int, default=2000,
+                         metavar="N",
+                         help="state cap for naive-enumeration runs "
+                         "(default: 2000)")
+    pverify.add_argument("--max-states", type=int, default=200_000,
+                         help="explored-state budget per schedule")
+    pverify.add_argument("--budget-seconds", type=float, default=60.0,
+                         help="wall-clock budget per schedule")
+    pverify.add_argument("--counterexample", default=None, metavar="PATH",
+                         help="write the first violation as a replayable "
+                         "JSON trace")
+    pverify.add_argument("--json", default=None, metavar="PATH",
+                         help="write the machine-readable verification "
+                         "report")
+    pverify.add_argument("--replay", default=None, metavar="PATH",
+                         help="replay a saved counterexample trace instead "
+                         "of verifying")
+    pverify.add_argument("--chrome", default=None, metavar="PATH",
+                         help="render the (first or replayed) violation as "
+                         "a Chrome trace-event file")
+    pverify.add_argument("--no-cache", action="store_true",
+                         help="bypass the explored-state fingerprint cache "
+                         "($REPRO_CACHE_DIR or .repro-cache/)")
+
     ptrace = sub.add_parser(
         "trace",
         help="record one measurement and export a Chrome/Perfetto trace",
@@ -683,6 +744,197 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _print_violation(model, violation) -> None:
+    print(f"  VIOLATION [{violation.kind}]: {violation.detail}")
+    if violation.trace:
+        print(f"  interleaving ({len(violation.trace)} match(es)):")
+        for i, ev in enumerate(violation.trace):
+            print(f"    {i:>3}. {model.describe(ev.send)}  ->  "
+                  f"{model.describe(ev.recv)}")
+    else:
+        print("  interleaving: empty (violated at the initial state)")
+    for line in violation.pending:
+        print(f"    stuck: {line}")
+
+
+def _cmd_verify_replay(args) -> int:
+    from repro.verify import (
+        chrome_counterexample_trace,
+        load_counterexample,
+        model_from_trace,
+        replay,
+    )
+
+    data = load_counterexample(args.replay)
+    result = replay(data)
+    model = model_from_trace(data)
+    sched = model.meta.get("schedule", "?")
+    print(f"replaying {args.replay}: schedule={sched} "
+          f"kind={data['kind']} events={len(data['events'])}")
+    print(f"  {'CONFIRMED' if result.ok else 'FAILED'}: {result.message}")
+    if result.ok:
+        print(f"  detail: {data['detail']}")
+        for line in data["pending"][:8]:
+            print(f"    stuck: {line}")
+    if args.chrome:
+        n = chrome_counterexample_trace(data, args.chrome)
+        print(f"  wrote {n} Chrome trace events to {args.chrome}")
+    return 0 if result.ok else 1
+
+
+def _cmd_verify(args) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.collectives.models import ADAPT_VERIFY, VERIFY_MODELS
+    from repro.parallel import ResultCache
+    from repro.verify import (
+        VerifyKey,
+        build_model,
+        chrome_counterexample_trace,
+        counterexample_dict,
+        explore,
+        exploration_to_summary,
+        first_violation,
+        kill_sweep,
+        save_counterexample,
+        summary_to_exploration,
+    )
+
+    if args.replay:
+        return _cmd_verify_replay(args)
+    if args.collectives:
+        schedules = list(dict.fromkeys(args.collectives))
+    elif args.all:
+        schedules = sorted(VERIFY_MODELS)
+    else:
+        schedules = list(ADAPT_VERIFY)
+    no_cache = args.no_cache or (
+        os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+    )
+    cache = None if no_cache else ResultCache()
+    mode = "naive" if args.naive else "auto"
+    report: dict = {"config": {
+        "ranks": args.ranks, "tree": args.tree, "nbytes": args.nbytes,
+        "segment_size": args.segment_size, "root": args.root, "mode": mode,
+    }, "schedules": {}}
+    exit_code = 0
+    saved_counterexample = False
+    rendered_chrome = False
+    for schedule in schedules:
+        spec = VERIFY_MODELS[schedule]
+        t0 = _time.monotonic()
+        model = build_model(
+            schedule, nranks=args.ranks, tree=args.tree, nbytes=args.nbytes,
+            segment_size=args.segment_size, root=args.root,
+        )
+        max_states = min(args.max_states, args.naive_cap) if args.naive \
+            else args.max_states
+        key = VerifyKey(model.fingerprint(), mode, max_states)
+        exploration = None
+        cached = False
+        if cache is not None:
+            summary = cache.get(key)
+            if summary is not None:
+                exploration = summary_to_exploration(model, summary)
+                cached = exploration is not None
+        if exploration is None:
+            exploration = explore(
+                model, mode=mode, max_states=max_states,
+                budget_seconds=args.budget_seconds, keep_states=False,
+            )
+            if cache is not None and exploration.complete:
+                cache.put(key, exploration_to_summary(exploration))
+        # The DPOR-vs-naive census: how much the reduction buys on this
+        # model (naive leg capped; a capped count is a lower bound).
+        naive_note = ""
+        if exploration.mode == "dpor":
+            naive = explore(
+                model, mode="naive", max_states=args.naive_cap,
+                budget_seconds=args.budget_seconds, keep_states=False,
+            )
+            bound = "" if naive.complete else ">="
+            naive_note = (
+                f"; naive enumeration {bound}{naive.states_explored} states"
+            )
+        elapsed = _time.monotonic() - t0
+        expected = spec.expect
+        found_kinds = sorted({v.kind for v in exploration.violations})
+        if expected is not None:
+            ok = expected in found_kinds
+            verdict = (
+                f"expected violation {expected!r} "
+                f"{'produced' if ok else 'MISSING'} (found: {found_kinds})"
+            )
+        else:
+            ok = exploration.ok
+            verdict = exploration.verdict()
+        status = "ok " if ok else "FAIL"
+        warm = " [cached]" if cached else ""
+        print(f"{status} {schedule}: {verdict}{warm}")
+        print(f"     mode={exploration.mode} states={exploration.states_explored} "
+              f"transitions={exploration.transitions_fired} "
+              f"maximal={exploration.maximal_states}{naive_note} "
+              f"({elapsed:.2f}s)")
+        entry: dict = {
+            "ok": ok,
+            "mode": exploration.mode,
+            "states_explored": exploration.states_explored,
+            "transitions_fired": exploration.transitions_fired,
+            "complete": exploration.complete,
+            "cached": cached,
+            "violations": found_kinds,
+            "expected": expected,
+        }
+        violation = first_violation(exploration)
+        if violation is not None:
+            _print_violation(model, violation)
+            if args.counterexample and not saved_counterexample:
+                save_counterexample(
+                    args.counterexample, model, violation, exploration.mode
+                )
+                saved_counterexample = True
+                print(f"  counterexample written to {args.counterexample}")
+            if args.chrome and not rendered_chrome:
+                chrome_counterexample_trace(
+                    counterexample_dict(model, violation, exploration.mode),
+                    args.chrome,
+                )
+                rendered_chrome = True
+                print(f"  violation rendered as Chrome trace: {args.chrome}")
+        if args.kill_sweep and spec.family == "adapt" and spec.recovery:
+            sweep = kill_sweep(
+                schedule, nranks=args.ranks, tree=args.tree,
+                nbytes=args.nbytes, segment_size=args.segment_size,
+                root=args.root, max_states=max_states,
+                budget_seconds=args.budget_seconds,
+            )
+            sweep_status = "ok " if sweep.ok else "FAIL"
+            print(f"{sweep_status} {schedule} kill-sweep: {sweep.verdict()} "
+                  f"({sweep.elapsed:.2f}s)")
+            for victim in sweep.victims:
+                for issue in victim.issues[:4]:
+                    print(f"     victim {victim.victim}: {issue}")
+            entry["kill_sweep"] = {
+                "ok": sweep.ok,
+                "mode": sweep.mode,
+                "triples": sweep.triples,
+                "victims": len(sweep.victims),
+                "base_states": sweep.base.states_explored,
+            }
+            if not sweep.ok:
+                ok = False
+                entry["ok"] = False
+        report["schedules"][schedule] = entry
+        if not ok:
+            exit_code = max(exit_code, 2 if not exploration.complete else 1)
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"report written to {args.json}")
+    return exit_code
+
+
 def _cmd_tree(args) -> str:
     spec = small_test_machine(
         nodes=args.nodes, sockets=args.sockets, cores_per_socket=args.cores
@@ -734,6 +986,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_metrics(args)
     elif args.command == "lint":
         return _cmd_lint(args)
+    elif args.command == "verify":
+        return _cmd_verify(args)
     elif args.command == "tree":
         print(_cmd_tree(args))
     elif args.command == "machines":

@@ -41,8 +41,12 @@ from repro.collectives.extensions_allgather import (
     reduce_scatter_adapt,
 )
 from repro.collectives.extensions_alltoall import alltoall_adapt
+from repro.collectives.models import ADAPT_VERIFY, VERIFY_MODELS, VerifySpec
 
 __all__ = [
+    "ADAPT_VERIFY",
+    "VERIFY_MODELS",
+    "VerifySpec",
     "CollectiveHandle",
     "CollectiveContext",
     "bcast_blocking",

@@ -1,0 +1,76 @@
+"""Verification hooks: how each schedule presents to the model checker.
+
+``repro.verify`` treats a collective as a transition system extracted from
+a recorded run. That extraction is only sound for schedules whose *posting
+structure* is data-oblivious — which operations get posted, and what gates
+them, must not depend on payload bytes (ADAPT's state machines branch on
+segment arrival, never on segment content; the baselines are straight-line
+proclets). Each schedule the checker accepts declares that contract here,
+along with its family and — for the nine ADAPT collectives — the recovery
+path the kill-sweep must certify (mirrors ``repro.recovery.RECOVERY_MODES``;
+a test asserts the two tables never drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class VerifySpec:
+    """One schedule's contract with the model checker."""
+
+    schedule: str
+    #: "adapt" | "blocking" | "nonblocking" | "demo"
+    family: str
+    #: The ``RECOVERY_MODES`` key for ADAPT collectives, else ``None``.
+    collective: Optional[str] = None
+    #: "in-place" | "restart" | None — how the kill-sweep certifies it.
+    recovery: Optional[str] = None
+    #: Posting structure independent of payload bytes (extraction soundness).
+    data_oblivious: bool = True
+    #: The violation kind the checker is *expected* to report (demos only).
+    expect: Optional[str] = None
+
+
+#: The nine ADAPT collectives the acceptance run must certify at 0 violations.
+ADAPT_VERIFY: tuple[str, ...] = (
+    "bcast-adapt",
+    "reduce-adapt",
+    "scatter-adapt",
+    "gather-adapt",
+    "allreduce-adapt",
+    "barrier-adapt",
+    "allgather-adapt",
+    "reduce-scatter-adapt",
+    "alltoall-adapt",
+)
+
+VERIFY_MODELS: dict[str, VerifySpec] = {
+    spec.schedule: spec
+    for spec in (
+        # ADAPT event-based schedules: deadlock-free and race-free in every
+        # ordering; each carries its DESIGN.md S20 recovery path.
+        VerifySpec("bcast-adapt", "adapt", "bcast", "in-place"),
+        VerifySpec("reduce-adapt", "adapt", "reduce", "restart"),
+        VerifySpec("scatter-adapt", "adapt", "scatter", "in-place"),
+        VerifySpec("gather-adapt", "adapt", "gather", "restart"),
+        VerifySpec("allreduce-adapt", "adapt", "allreduce", "restart"),
+        VerifySpec("barrier-adapt", "adapt", "barrier", "in-place"),
+        VerifySpec("allgather-adapt", "adapt", "allgather", "restart"),
+        VerifySpec("reduce-scatter-adapt", "adapt", "reduce_scatter",
+                   "restart"),
+        VerifySpec("alltoall-adapt", "adapt", "alltoall", "in-place"),
+        # Baselines: models extract fine; the checker documents the orderings
+        # they survive (the paper's Figure 2 argument, machine-checked).
+        VerifySpec("bcast-blocking", "blocking", "bcast"),
+        VerifySpec("reduce-blocking", "blocking", "reduce"),
+        VerifySpec("bcast-nonblocking", "nonblocking", "bcast"),
+        VerifySpec("reduce-nonblocking", "nonblocking", "reduce"),
+        # Intentionally broken demos: the checker must produce the violation.
+        VerifySpec("deadlock-demo", "demo", expect="deadlock"),
+        VerifySpec("tag-mismatch-demo", "demo", expect="deadlock"),
+        VerifySpec("race-demo", "demo", expect="race"),
+    )
+}

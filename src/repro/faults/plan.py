@@ -164,6 +164,14 @@ class FaultPlan:
             self.kills or self.stalls or self.losses or self.flaps or self.corrupts
         )
 
+    @classmethod
+    def single_kill(
+        cls, rank: int, time: float, detect_delay: float = 1e-3
+    ) -> "FaultPlan":
+        """The one-victim fail-stop plan the recovery checkers sweep with."""
+        return cls(kills=[KillSpec(rank=rank, time=time)],
+                   detect_delay=detect_delay)
+
 
 #: Every fault kind a plan dict may carry, mapped to its spec class.  The
 #: explicit registry is what lets :func:`plan_from_dict` reject a typo'd or

@@ -22,9 +22,48 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.mpi.request import Request
+
+#: A wire-level matching key: ``(src, dst, tag)``. Exact matching means a
+#: message and a posted recv pair up iff their keys are equal.
+MatchKey = tuple[int, int, int]
+
+
+def match_key(kind: str, rank: int, peer: int, tag: int) -> MatchKey:
+    """The wire key ``(src, dst, tag)`` of an operation owned by ``rank``.
+
+    A send from ``rank`` to ``peer`` and a recv on ``peer`` naming ``rank``
+    produce the same key — the equality the matcher tests, factored out so
+    offline tools (the schedule model checker) enumerate candidates with
+    the exact same rule the runtime applies.
+    """
+    if kind == "send":
+        return (rank, peer, tag)
+    if kind == "recv":
+        return (peer, rank, tag)
+    raise ValueError(f"match keys exist only for send/recv, not {kind!r}")
+
+
+def candidate_matches(
+    sends: Iterable[tuple[int, int, int, int]],
+    recvs: Iterable[tuple[int, int, int, int]],
+) -> dict[MatchKey, tuple[list[int], list[int]]]:
+    """Group operations by wire key: ``{key: (send_ids, recv_ids)}``.
+
+    ``sends`` and ``recvs`` are ``(op_id, src, dst, tag)`` tuples. Every key
+    seen on either side appears in the result (a key with sends but no
+    recvs is how the race detector spots ambiguous in-flight messages, and
+    a one-sided key at quiescence is an unmatched operation). Within a key
+    the id lists preserve input order — the runtime's FIFO tiebreak.
+    """
+    out: dict[MatchKey, tuple[list[int], list[int]]] = {}
+    for oid, src, dst, tag in sends:
+        out.setdefault((src, dst, tag), ([], []))[0].append(oid)
+    for oid, src, dst, tag in recvs:
+        out.setdefault((src, dst, tag), ([], []))[1].append(oid)
+    return out
 
 
 @dataclass
@@ -108,6 +147,23 @@ class Matcher:
         if msg.eager:
             self.unexpected_eager_count += 1
         return None
+
+    def pending_candidates(self, own_rank: int) -> dict[MatchKey, tuple[int, int]]:
+        """Outstanding state by wire key: ``{key: (n_inbound, n_posted)}``.
+
+        A key with both counts nonzero can never persist (arrival or post
+        would have matched); a key with ``n_inbound > 1`` means multiple
+        in-flight messages are racing for whichever recv posts next.
+        """
+        out: dict[MatchKey, tuple[int, int]] = {}
+        for (src, tag), q in self.inbound.items():
+            key = (src, own_rank, tag)
+            out[key] = (len(q), 0)
+        for (src, tag), q in self.posted.items():
+            key = (src, own_rank, tag)
+            inb = out.get(key, (0, 0))[0]
+            out[key] = (inb, len(q))
+        return out
 
     def pending_posted(self) -> int:
         return sum(len(q) for q in self.posted.values())

@@ -110,6 +110,14 @@ class Request:
         world = getattr(self._runtime, "world", None)
         if world is not None:
             self.completion_time = world.engine.now
+            observer = world.observer
+            if observer is not None:
+                # The recorder tracks requests by identity; without this
+                # notification a cancelled request's node stays forever
+                # "incomplete" and the linter misreads it as leaked.
+                cancelled = getattr(observer, "op_cancelled", None)
+                if cancelled is not None:
+                    cancelled(self)
             if world.sanitizer is not None:
                 world.sanitizer.on_cancel(self)
 

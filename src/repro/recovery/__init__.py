@@ -37,7 +37,10 @@ from repro.collectives.base import CollectiveContext, CollectiveHandle
 from repro.recovery.membership import (
     MembershipService,
     SurvivorView,
+    agreed_view,
     ensure_membership,
+    merge_suspicions,
+    ring_walk,
 )
 from repro.recovery.restart import (
     EpochRestart,
@@ -48,6 +51,9 @@ from repro.recovery.restart import (
 __all__ = [
     "MembershipService",
     "SurvivorView",
+    "agreed_view",
+    "merge_suspicions",
+    "ring_walk",
     "ensure_membership",
     "EpochRestart",
     "launch_recover",

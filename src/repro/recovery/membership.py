@@ -28,7 +28,7 @@ survivor's own CPU, so a dead rank still never observes a view.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.mpi.runtime import MpiWorld
 
@@ -46,6 +46,57 @@ class SurvivorView:
             f"epoch={self.epoch} failed={sorted(self.failed)} "
             f"members={len(self.members)}"
         )
+
+
+# -- pure transition functions -------------------------------------------------
+#
+# The agreement round, stripped of engine events: the live protocol below
+# drives these same functions from timers and control messages, and the
+# schedule model checker (repro.verify) steps them directly to prove the
+# membership transition system converges for every symbolic kill — no live
+# world required.
+
+
+def merge_suspicions(
+    known: frozenset[int], pending: Iterable[int]
+) -> frozenset[int]:
+    """The failed set a round proposes: already-agreed dead + new suspects."""
+    return known | frozenset(pending)
+
+
+def ring_walk(
+    members: Iterable[int],
+    proposed: frozenset[int],
+    responsive: Iterable[int],
+) -> frozenset[int]:
+    """The failed set after collect + distribute ring passes.
+
+    The token visits every proposed-live member in ring order twice; a hop
+    that goes unanswered (the member is not in ``responsive``) adds that
+    member to the failed set mid-walk — agreement doubles as detection,
+    exactly the live protocol's silent-hop rule.
+    """
+    failed = set(proposed)
+    alive = set(responsive)
+    for _phase in ("collect", "distribute"):
+        for hop in members:
+            if hop in failed:
+                continue
+            if hop not in alive:
+                failed.add(hop)
+    return frozenset(failed)
+
+
+def agreed_view(
+    view: SurvivorView, failed: Iterable[int], nranks: int
+) -> SurvivorView:
+    """The committed next epoch: bumped counter, survivors = rest."""
+    agreed = frozenset(failed)
+    return SurvivorView(
+        epoch=view.epoch + 1,
+        failed=agreed,
+        members=tuple(r for r in range(nranks) if r not in agreed),
+    )
 
 
 class MembershipService:
@@ -127,7 +178,7 @@ class MembershipService:
             return
         self._round_active = True
         self.rounds_run += 1
-        proposed = set(self.view.failed) | set(self._pending)
+        proposed = set(merge_suspicions(self.view.failed, self._pending))
         live = [r for r in self.view.members if r not in proposed]
         token = {"failed": proposed}
         self.timeline.append(
@@ -214,10 +265,7 @@ class MembershipService:
             self._watchdog.cancel()
             self._watchdog = None
         failed = frozenset(token["failed"])
-        members = tuple(
-            r for r in range(self.world.nranks) if r not in failed
-        )
-        view = SurvivorView(self.view.epoch + 1, failed, members)
+        view = agreed_view(self.view, failed, self.world.nranks)
         self.view = view
         now = self.world.engine.now
         self.timeline.append((now, "commit", view.describe()))

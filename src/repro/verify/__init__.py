@@ -1,0 +1,78 @@
+"""Schedule model checking: exhaustive interleaving exploration.
+
+The single-interleaving linter (:mod:`repro.analysis.lint`) proves
+properties of the one execution the simulator happened to run. This
+package proves them for *every* execution a reordering network could
+produce: the recorded schedule becomes a transition system
+(:mod:`repro.verify.model`), the explorer walks all inequivalent match
+orders with dynamic partial-order reduction
+(:mod:`repro.verify.checker`), the kill-sweep certifies the recovery
+path at every explored state (:mod:`repro.verify.recovery_check`), and
+every violation ships as a replayable, Chrome-traceable counterexample
+(:mod:`repro.verify.counterexample`). ``repro verify`` is the CLI front
+door; :mod:`repro.verify.cache` keys warm re-runs by model fingerprint.
+"""
+
+from repro.verify.cache import (
+    VerifyKey,
+    exploration_to_summary,
+    summary_to_exploration,
+)
+from repro.verify.checker import (
+    DEADLOCK,
+    RACE,
+    UNMATCHED_SEND,
+    Exploration,
+    MatchEvent,
+    Violation,
+    explore,
+)
+from repro.verify.counterexample import (
+    ReplayResult,
+    chrome_counterexample_trace,
+    counterexample_dict,
+    first_violation,
+    load_counterexample,
+    model_from_trace,
+    replay,
+    save_counterexample,
+)
+from repro.verify.model import (
+    ModelOp,
+    ScheduleModel,
+    build_model,
+    model_from_graph,
+)
+from repro.verify.recovery_check import (
+    KillSweepResult,
+    VictimReport,
+    kill_sweep,
+)
+
+__all__ = [
+    "DEADLOCK",
+    "RACE",
+    "UNMATCHED_SEND",
+    "Exploration",
+    "KillSweepResult",
+    "MatchEvent",
+    "ModelOp",
+    "ReplayResult",
+    "ScheduleModel",
+    "VerifyKey",
+    "VictimReport",
+    "Violation",
+    "build_model",
+    "chrome_counterexample_trace",
+    "counterexample_dict",
+    "explore",
+    "exploration_to_summary",
+    "first_violation",
+    "kill_sweep",
+    "load_counterexample",
+    "model_from_graph",
+    "model_from_trace",
+    "replay",
+    "save_counterexample",
+    "summary_to_exploration",
+]

@@ -1,0 +1,510 @@
+"""Recovery-path verification: the symbolic kill-sweep.
+
+For an ADAPT collective the checker has already certified fault-free, this
+module certifies the *recovery* path: at every explored state of the base
+transition system, symbolically kill each non-root rank and verify the
+repair machinery reaches a safe completion. Four obligations per
+(collective, victim) pair, the middle two re-checked at every state:
+
+1. **membership agreement** — stepping the pure transition functions the
+   live :class:`~repro.recovery.membership.MembershipService` runs
+   (``merge_suspicions`` → ``ring_walk`` → ``agreed_view``) from the
+   pre-kill view must commit a bumped epoch whose failed set contains
+   exactly the victim and whose members are exactly the survivors;
+2. **re-graft soundness** — ``regraft_tree`` around the victim must leave
+   no live rank orphaned (``Regraft.check``) and, with the root alive,
+   strand nobody (``lost`` empty);
+3. **stale-epoch safety, per state** — a message already in flight when
+   the kill hits must never be accepted by the recovery path. Restart
+   collectives get this from tag disjointness (every stale message carries
+   a base-epoch tag, the relaunch allocates strictly larger ones); in-place
+   collectives get it from exact-source matching (every in-flight victim
+   message's wire key names the victim, so post-commit arrivals are
+   attributable and droppable — no wildcard recv exists to swallow one);
+4. **survivor completion witness** — restart collectives: record the
+   actual relaunch among the survivors on the re-grafted structure (fresh
+   tag block, exactly as :class:`~repro.recovery.restart.EpochRestart`
+   builds it) and explore *that* model to completion; in-place
+   collectives: record a live faulted run (``launch_recover`` plus a
+   seeded fail-stop) and require the schedule linter to pass — no
+   stranded survivor, every survivor done or excused.
+
+The triple count the CI budget is phrased in is
+``sum over victims of (base states re-checked)`` — every
+(collective, killed-rank, state) combination the sweep visited.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.collectives.models import VERIFY_MODELS
+from repro.recovery.membership import (
+    SurvivorView,
+    agreed_view,
+    merge_suspicions,
+    ring_walk,
+)
+from repro.trees.regraft import regraft_tree
+from repro.verify.checker import Exploration, explore
+from repro.verify.model import ScheduleModel, build_model, model_from_graph
+
+
+@dataclass
+class VictimReport:
+    """One symbolic kill: obligations 1-4 for a single victim rank."""
+
+    victim: int
+    membership_ok: bool = False
+    regraft_ok: bool = False
+    adoptions: dict[int, int] = field(default_factory=dict)
+    #: Base states at which stale-epoch safety was re-checked.
+    states_checked: int = 0
+    stale_ok: bool = False
+    #: "restart-model" | "in-place-live" | "skipped"
+    witness: str = "skipped"
+    witness_ok: bool = False
+    #: States of the relaunch model's own exploration (restart only).
+    witness_states: int = 0
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.membership_ok
+            and self.regraft_ok
+            and self.stale_ok
+            and self.witness_ok
+            and not self.issues
+        )
+
+
+@dataclass
+class KillSweepResult:
+    """The sweep verdict for one (collective, nranks, tree) configuration."""
+
+    schedule: str
+    collective: str
+    mode: str  # "in-place" | "restart"
+    nranks: int
+    tree: str
+    root: int
+    base: Exploration
+    victims: list[VictimReport] = field(default_factory=list)
+    complete: bool = True
+    elapsed: float = 0.0
+
+    @property
+    def triples(self) -> int:
+        """(collective, killed-rank, state) combinations actually checked."""
+        return sum(v.states_checked for v in self.victims)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.complete
+            and self.base.ok
+            and bool(self.victims)
+            and all(v.ok for v in self.victims)
+        )
+
+    def verdict(self) -> str:
+        if not self.base.ok:
+            return f"BASE NOT SAFE: {self.base.verdict()}"
+        if not self.complete:
+            return "UNKNOWN (budget exhausted mid-sweep)"
+        bad = [v.victim for v in self.victims if not v.ok]
+        if bad:
+            return f"RECOVERY UNSAFE for victim(s) {bad}"
+        return (
+            f"RECOVERY CERTIFIED ({self.mode}): {len(self.victims)} "
+            f"victim(s) x {self.base.states_explored} state(s) = "
+            f"{self.triples} kill points, all safe"
+        )
+
+
+def _base_max_tag(model: ScheduleModel) -> int:
+    tags = [
+        op.tag for op in model.ops.values()
+        if op.kind in ("send", "recv") and op.tag is not None
+    ]
+    return max(tags) if tags else -1
+
+
+def _check_membership(victim: int, nranks: int) -> tuple[bool, list[str]]:
+    """Step the pure agreement functions for a single-victim round."""
+    issues: list[str] = []
+    view0 = SurvivorView(0, frozenset(), tuple(range(nranks)))
+    proposed = merge_suspicions(view0.failed, [victim])
+    responsive = [r for r in range(nranks) if r != victim]
+    failed = ring_walk(view0.members, proposed, responsive)
+    view1 = agreed_view(view0, failed, nranks)
+    if view1.epoch != view0.epoch + 1:
+        issues.append(f"epoch not bumped: {view0.epoch} -> {view1.epoch}")
+    if failed != frozenset({victim}):
+        issues.append(f"agreed failed set {sorted(failed)} != [{victim}]")
+    if victim in view1.members:
+        issues.append(f"victim {victim} still a member after commit")
+    if set(view1.members) != set(range(nranks)) - {victim}:
+        issues.append(f"members {view1.members} are not the survivors")
+    # Convergence: a second round over the same suspicion is a no-op view
+    # change (same members, epoch keeps counting) — re-suspecting the dead
+    # must never shrink the survivors further.
+    again = ring_walk(
+        view1.members, merge_suspicions(view1.failed, [victim]),
+        view1.members,
+    )
+    view2 = agreed_view(view1, again, nranks)
+    if view2.members != view1.members or view2.failed != view1.failed:
+        issues.append("agreement not convergent: re-suspecting moved the view")
+    return not issues, issues
+
+
+def _check_stale_restart(
+    model: ScheduleModel, base: Exploration, tag_floor: int
+) -> tuple[int, bool, list[str]]:
+    """Every op the base epoch ever posts carries a tag below ``tag_floor``.
+
+    Checked per explored state over the ops in flight there: any message
+    crossing the wire when the kill lands is numerically incapable of
+    matching a relaunch-epoch recv (which tags from ``tag_floor`` up).
+    """
+    issues: list[str] = []
+    checked = 0
+    from repro.verify.checker import _closure
+
+    for state in base.states:
+        checked += 1
+        posted, _ = _closure(model, state)
+        hot = [
+            op for op in model.sends
+            if op.oid in posted and op.oid not in state
+        ]
+        for op in hot:
+            if op.tag is not None and op.tag >= tag_floor:
+                issues.append(
+                    f"stale-epoch hazard: {op.label} in flight with tag "
+                    f"{op.tag} >= relaunch tag floor {tag_floor}"
+                )
+        if len(issues) > 8:
+            break
+    return checked, not issues, issues
+
+
+def _check_stale_inplace(
+    model: ScheduleModel, base: Exploration, victim: int
+) -> tuple[int, bool, list[str]]:
+    """Every message the victim could leave in flight is attributable.
+
+    In-place repair drops post-commit arrivals from the dead: that needs
+    (a) no wildcard recv anywhere (exact-source matching only — a wildcard
+    could swallow a stale victim message into a live exchange), and (b) at
+    every state, each in-flight victim send's wire key names the victim as
+    source, so the transport can identify and discard it after the commit.
+    """
+    issues: list[str] = []
+    for r in model.recvs:
+        if r.peer is None:
+            issues.append(f"wildcard recv breaks attributability: {r.label}")
+    checked = 0
+    from repro.verify.checker import _closure
+
+    for state in base.states:
+        checked += 1
+        posted, _ = _closure(model, state)
+        for op in model.sends:
+            if op.rank != victim:
+                continue
+            if op.oid in posted and op.oid not in state and op.key[0] != victim:
+                issues.append(
+                    f"in-flight victim message not attributable: {op.label}"
+                )
+        if len(issues) > 8:
+            break
+    return checked, not issues, issues
+
+
+def _record_restart_witness(
+    schedule: str,
+    collective: str,
+    victim: int,
+    nranks: int,
+    tree: str,
+    nbytes: int,
+    segment_size: int,
+    root: int,
+    tag_floor: int,
+):
+    """Record the survivors' relaunch exactly as ``EpochRestart`` builds it:
+    same communicator, original tree re-grafted around the victim, fresh
+    tag block strictly above the base epoch's."""
+    from repro.analysis.depgraph import record
+    from repro.analysis.schedules import TREES, recording_world
+    from repro.collectives import (
+        allreduce_adapt,
+        gather_adapt,
+        reduce_adapt,
+    )
+    from repro.config import CollectiveConfig
+    from repro.mpi.communicator import Communicator
+    from repro.recovery.restart import (
+        allgather_ring_members,
+        reduce_scatter_ring_members,
+    )
+
+    world = recording_world(nranks)
+    world.allocate_tags(tag_floor)  # push the floor: relaunch tags disjoint
+    comm = Communicator(world)
+    shape = TREES[tree](nranks).reroot_relabelled(root)
+    rg = regraft_tree(shape, {victim})
+    from repro.collectives.base import CollectiveContext
+
+    ctx = CollectiveContext(
+        comm, root, nbytes, CollectiveConfig(segment_size=segment_size),
+        tree=rg.survivor,
+    )
+    members = sorted(set(range(nranks)) - {victim})
+    relaunchers = {
+        "reduce": lambda: reduce_adapt(ctx, ranks=members),
+        "gather": lambda: gather_adapt(ctx, ranks=members),
+        "allreduce": lambda: allreduce_adapt(ctx, ranks=members),
+        "allgather": lambda: allgather_ring_members(ctx, members),
+        "reduce_scatter": lambda: reduce_scatter_ring_members(ctx, members),
+    }
+    launch = relaunchers[collective]
+    graph = record(
+        world,
+        launch,
+        meta={
+            "schedule": f"{schedule}-relaunch",
+            "nranks": nranks,
+            "nbytes": nbytes,
+            "victim": victim,
+            "eager_threshold": world.config.eager_threshold,
+        },
+    )
+    return graph, members
+
+
+def _witness_restart(
+    rep: VictimReport,
+    schedule: str,
+    collective: str,
+    nranks: int,
+    tree: str,
+    nbytes: int,
+    segment_size: int,
+    root: int,
+    tag_floor: int,
+    max_states: int,
+) -> None:
+    rep.witness = "restart-model"
+    graph, members = _record_restart_witness(
+        schedule, collective, rep.victim, nranks, tree, nbytes,
+        segment_size, root, tag_floor,
+    )
+    wmodel = model_from_graph(graph)
+    wexp = explore(wmodel, max_states=max_states, keep_states=False)
+    rep.witness_states = wexp.states_explored
+    ok = True
+    if not wexp.ok:
+        ok = False
+        rep.issues.append(f"relaunch model: {wexp.verdict()}")
+    if rep.victim in wmodel.ranks:
+        ok = False
+        rep.issues.append(
+            f"dead rank {rep.victim} participates in the relaunch"
+        )
+    stray = set(wmodel.ranks) - set(members)
+    if stray:
+        ok = False
+        rep.issues.append(f"non-member rank(s) {sorted(stray)} in relaunch")
+    low = [
+        op.label for op in wmodel.ops.values()
+        if op.kind in ("send", "recv")
+        and op.tag is not None and op.tag < tag_floor
+    ]
+    if low:
+        ok = False
+        rep.issues.append(
+            f"relaunch tag(s) below the stale floor {tag_floor}: {low[:4]}"
+        )
+    rep.witness_ok = ok
+
+
+def _witness_inplace(
+    rep: VictimReport,
+    schedule: str,
+    collective: str,
+    nranks: int,
+    tree: str,
+    nbytes: int,
+    segment_size: int,
+    root: int,
+) -> None:
+    """Record a live faulted run and require a clean lint + full completion."""
+    from repro.analysis.depgraph import record
+    from repro.analysis.lint import lint
+    from repro.analysis.schedules import TREES, recording_world
+    from repro.collectives.base import CollectiveContext
+    from repro.config import CollectiveConfig
+    from repro.faults import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.mpi.communicator import Communicator
+    from repro.recovery import launch_recover
+
+    rep.witness = "in-place-live"
+    world = recording_world(nranks)
+    comm = Communicator(world)
+    shape = TREES[tree](nranks).reroot_relabelled(root)
+    ctx = CollectiveContext(
+        comm, root, nbytes, CollectiveConfig(segment_size=segment_size),
+        tree=shape,
+    )
+    plan = FaultPlan.single_kill(rep.victim, 2e-4, detect_delay=2e-4)
+    handles: list[Any] = []
+
+    def launch() -> None:
+        handles.append(launch_recover(collective, ctx))
+        FaultInjector(world, plan).arm(0.05)
+
+    graph = record(
+        world,
+        launch,
+        meta={
+            "schedule": f"{schedule}-kill{rep.victim}",
+            "nranks": nranks,
+            "nbytes": nbytes,
+            "victim": rep.victim,
+            "eager_threshold": world.config.eager_threshold,
+        },
+    )
+    report = lint(graph)
+    ok = True
+    if not report.ok:
+        ok = False
+        rules = sorted({f.rule for f in report.errors})
+        rep.issues.append(
+            f"live kill run fails lint: {rules} "
+            f"({len(report.errors)} error finding(s))"
+        )
+    handle = handles[0]
+    missing = [
+        r for r in range(nranks)
+        if r != rep.victim
+        and r not in handle.done_time
+        and r not in handle.excused
+    ]
+    if missing:
+        ok = False
+        rep.issues.append(f"survivor(s) {missing} never completed or excused")
+    agreed = handle.report.agreed_failed
+    if agreed and rep.victim not in agreed:
+        ok = False
+        rep.issues.append(
+            f"membership agreed {sorted(agreed)} without the victim"
+        )
+    rep.witness_ok = ok
+
+
+def kill_sweep(
+    schedule: str,
+    nranks: int = 6,
+    tree: str = "binary",
+    nbytes: int = 64 * 1024,
+    segment_size: int = 16 * 1024,
+    root: int = 0,
+    max_states: int = 200_000,
+    budget_seconds: Optional[float] = None,
+    witness: bool = True,
+) -> KillSweepResult:
+    """Certify the recovery path of one ADAPT collective.
+
+    Explores the fault-free model, then runs obligations 1-4 (module
+    docstring) for every non-root victim. ``witness=False`` skips the
+    (comparatively slow) completion-witness recordings — obligations 1-3
+    still run at every state.
+    """
+    t0 = time.monotonic()
+    spec = VERIFY_MODELS.get(schedule)
+    if spec is None or spec.family != "adapt" or spec.recovery is None:
+        raise ValueError(
+            f"kill-sweep needs an ADAPT collective with a declared recovery "
+            f"mode; {schedule!r} is not one"
+        )
+    assert spec.collective is not None
+    model = build_model(
+        schedule, nranks=nranks, tree=tree, nbytes=nbytes,
+        segment_size=segment_size, root=root,
+    )
+    base = explore(
+        model, max_states=max_states, budget_seconds=budget_seconds,
+        keep_states=True,
+    )
+    result = KillSweepResult(
+        schedule=schedule,
+        collective=spec.collective,
+        mode=spec.recovery,
+        nranks=nranks,
+        tree=tree,
+        root=root,
+        base=base,
+    )
+    if not base.ok:
+        result.elapsed = time.monotonic() - t0
+        return result
+    tag_floor = _base_max_tag(model) + 1
+    for victim in range(nranks):
+        if victim == root:
+            continue
+        if budget_seconds is not None and time.monotonic() - t0 > budget_seconds:
+            result.complete = False
+            break
+        rep = VictimReport(victim=victim)
+        rep.membership_ok, mem_issues = _check_membership(victim, nranks)
+        rep.issues.extend(mem_issues)
+
+        from repro.analysis.schedules import TREES
+
+        shape = TREES[tree](nranks).reroot_relabelled(root)
+        rg = regraft_tree(shape, {victim})
+        try:
+            rg.check({victim})
+            rep.regraft_ok = not rg.lost
+            if rg.lost:
+                rep.issues.append(
+                    f"re-graft strands live rank(s) {sorted(rg.lost)}"
+                )
+            rep.adoptions = dict(rg.adoptions)
+        except AssertionError as exc:
+            rep.regraft_ok = False
+            rep.issues.append(f"re-graft check failed: {exc}")
+
+        if spec.recovery == "restart":
+            rep.states_checked, rep.stale_ok, stale_issues = (
+                _check_stale_restart(model, base, tag_floor)
+            )
+        else:
+            rep.states_checked, rep.stale_ok, stale_issues = (
+                _check_stale_inplace(model, base, victim)
+            )
+        rep.issues.extend(stale_issues)
+
+        if witness:
+            if spec.recovery == "restart":
+                _witness_restart(
+                    rep, schedule, spec.collective, nranks, tree, nbytes,
+                    segment_size, root, tag_floor, max_states,
+                )
+            else:
+                _witness_inplace(
+                    rep, schedule, spec.collective, nranks, tree, nbytes,
+                    segment_size, root,
+                )
+        else:
+            rep.witness_ok = True
+        result.victims.append(rep)
+    result.elapsed = time.monotonic() - t0
+    return result

@@ -197,6 +197,36 @@ class TestLinter:
                                        nbytes=32 * 1024, config=CFG))
         assert not report.findings
 
+    def test_callback_cancelled_request_not_leaked(self):
+        # Regression: a spare recv cancelled from another request's
+        # completion callback used to surface as leaked-request — the
+        # recorder resolved completions by post-order bookkeeping, so a
+        # withdrawal it never observed left the node dangling. Resolution
+        # is by request identity now (the op_cancelled observer hook).
+        from repro.analysis.depgraph import record
+        from repro.analysis.schedules import recording_world
+
+        world = recording_world(2)
+        nbytes = 2 * 1024  # eager
+
+        def launch():
+            r1 = world.ranks[1]
+            spare = r1.irecv(0, tag=9, nbytes=nbytes)  # never matched
+            primary = r1.irecv(0, tag=5, nbytes=nbytes)
+            primary.add_callback(lambda _r: spare.cancel())
+            world.ranks[0].isend(1, tag=5, nbytes=nbytes)
+
+        graph = record(
+            world, launch,
+            meta={"schedule": "cancel-regression", "nranks": 2},
+        )
+        report = lint(graph)
+        assert not report.by_rule("leaked-request"), report.render()
+        assert not report.by_rule("unmatched-recv")
+        cancelled = [n for n in graph.nodes.values() if n.cancelled]
+        assert len(cancelled) == 1
+        assert cancelled[0].tag == 9
+
     def test_render_mentions_verdict(self):
         report = lint(analyze_schedule("bcast-adapt", nranks=4, nbytes=NBYTES, config=CFG))
         text = report.render()
