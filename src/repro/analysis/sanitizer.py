@@ -80,9 +80,18 @@ class Sanitizer:
         by or addressed to a dead rank, posted recvs waiting on a dead peer,
         and arrivals the dead rank sent before crashing. Anything else left
         over is still a leak.
+
+        Confirmed failures excuse the same wreckage (DESIGN.md S22): a rank
+        the detector *ever* declared failed — even one that is ground-truth
+        alive and later retracted — had its in-flight work written off by
+        every survivor while the confirmation stood, so requests it owns or
+        is peered with can stay incomplete by design, not by leak.
         """
         self.checks_run += 1
-        failed = getattr(self.world, "failed_ranks", None) or set()
+        failed = set(getattr(self.world, "failed_ranks", None) or set())
+        detector = getattr(self.world, "failure_detector", None)
+        if detector is not None:
+            failed |= detector.ever_confirmed
         leaked = [
             req
             for req in self._pending
@@ -134,12 +143,16 @@ class Sanitizer:
         injector = faults._injector if faults is not None else None
         dropped = injector.dropped if injector is not None else 0
         duplicated = injector.duplicated if injector is not None else 0
+        # Severed ≠ leaked: a data-plane launch cut by a network partition
+        # never entered the wire, but the sender *did* count the attempt.
+        severed = injector.severed if injector is not None else 0
         sent = stats["transmissions"] + duplicated
         accounted = (
             stats["fresh_deliveries"]
             + stats["duplicates_suppressed"]
             + stats["msgs_lost_dead"]
             + dropped
+            + severed
             + stats["checksum_rejects"]
         )
         if sent != accounted:
@@ -148,7 +161,8 @@ class Sanitizer:
                 f"{stats['transmissions']} transmission(s) + {duplicated} "
                 f"injected duplicate(s) != {stats['fresh_deliveries']} fresh "
                 f"+ {stats['duplicates_suppressed']} suppressed "
-                f"+ {dropped} dropped + {stats['msgs_lost_dead']} lost-at-dead "
+                f"+ {dropped} dropped + {severed} severed "
+                f"+ {stats['msgs_lost_dead']} lost-at-dead "
                 f"+ {stats['checksum_rejects']} checksum-rejected"
             )
 

@@ -127,6 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(pfxr)
     _add_parallel(pfxr)
 
+    pfxp = sub.add_parser(
+        "figxp",
+        help="Figure X-P (ours): partition tolerance, heal time vs "
+        "completion and false kills",
+    )
+    pfxp.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the rows as deterministic JSON "
+                      "(byte-identical at any --jobs count)")
+    _add_scale(pfxp)
+    _add_parallel(pfxp)
+
     prun = sub.add_parser("run", help="one ad-hoc collective measurement")
     prun.add_argument("--library", default="OMPI-adapt")
     prun.add_argument("--op", dest="operation", default="bcast",
@@ -229,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     pchaos.add_argument("--kill-at", type=float, default=None,
                         help="kill time in seconds (default: 30%% of the "
                         "fault-free run)")
+    pchaos.add_argument("--partition", default=None, metavar="A|B",
+                        help="sever the fabric between rank groups, e.g. "
+                        "'0-15|16-23' or '0,1|2-23' (groups must cover "
+                        "every rank)")
+    pchaos.add_argument("--partition-at", type=float, default=None,
+                        help="cut time in seconds (default: 30%% of the "
+                        "fault-free run)")
+    pchaos.add_argument("--heal", type=float, default=None,
+                        help="heal time in seconds (default: cut + 4x the "
+                        "detection deadline — past the kill-path "
+                        "fall-through)")
     pchaos.add_argument("--seed", type=int, default=0)
 
     plint = sub.add_parser(
@@ -288,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
     pverify.add_argument("--kill-sweep", action="store_true",
                          help="also certify recovery: symbolically kill each "
                          "non-root rank at every explored state")
+    pverify.add_argument("--partition-sweep", action="store_true",
+                         help="also certify split-brain safety: step the "
+                         "quorum/heal state machine over every bipartition "
+                         "of the ranks (at most one committed view per "
+                         "epoch, heal converges by epoch precedence)")
     pverify.add_argument("--naive", action="store_true",
                          help="force full enumeration (no DPOR) — the "
                          "comparison baseline, capped by --naive-cap")
@@ -402,10 +429,13 @@ def _cmd_experiment(args) -> str:
         return table1_asp.run(args.scale, **kw).table()
     if args.command == "figx":
         return figx_faults.run(args.scale, **kw).table()
-    if args.command == "figxr":
-        from repro.harness.experiments import figx_recovery
+    if args.command in ("figxr", "figxp"):
+        if args.command == "figxr":
+            from repro.harness.experiments import figx_recovery as driver
+        else:
+            from repro.harness.experiments import figxp_partition as driver
 
-        res = figx_recovery.run(args.scale, **kw)
+        res = driver.run(args.scale, **kw)
         out = res.table()
         if args.json:
             import json
@@ -491,16 +521,62 @@ def _cmd_profile(args) -> str:
     return profiling.render(stats, top=args.top, title=title)
 
 
+def _parse_partition(text: str, nranks: int) -> tuple[tuple[int, ...], ...]:
+    """Parse ``'0-15|16-23'`` into disjoint rank groups covering the world.
+
+    Each side is a comma-separated list of single ranks or ``a-b`` ranges
+    (inclusive). Validation of disjointness/coverage is delegated to
+    :class:`PartitionSpec`; here we only reject malformed tokens early with
+    a CLI-flavoured error.
+    """
+    def side(tokens: str) -> tuple[int, ...]:
+        ranks: list[int] = []
+        for tok in tokens.split(","):
+            tok = tok.strip()
+            if not tok:
+                continue
+            try:
+                if "-" in tok:
+                    lo, hi = tok.split("-", 1)
+                    ranks.extend(range(int(lo), int(hi) + 1))
+                else:
+                    ranks.append(int(tok))
+            except ValueError:
+                raise SystemExit(
+                    f"chaos: bad --partition token {tok!r}; expected a rank "
+                    f"or an inclusive range like '16-23'"
+                ) from None
+        return tuple(ranks)
+
+    sides = [side(s) for s in text.split("|")]
+    if len(sides) < 2 or any(not s for s in sides):
+        raise SystemExit(
+            "chaos: --partition needs at least two non-empty '|'-separated "
+            "rank groups, e.g. '0-15|16-23'"
+        )
+    missing = set(range(nranks)) - {r for s in sides for r in s}
+    if missing:
+        raise SystemExit(
+            f"chaos: --partition groups must cover every rank; "
+            f"missing {sorted(missing)} of {nranks}"
+        )
+    return tuple(sides)
+
+
 def _cmd_chaos(args) -> str:
-    from repro.faults import FaultPlan, KillSpec, LossSpec
+    from repro.faults import FaultPlan, KillSpec, LossSpec, PartitionSpec
     from repro.faults.plan import CorruptSpec
 
     spec = _machine(args.machine, args.nodes)
     nranks = args.nranks or spec.total_cores
     lossy = args.drop > 0 or args.duplicate > 0
-    if not lossy and args.corrupt <= 0 and args.kill_rank is None:
+    if (not lossy and args.corrupt <= 0 and args.kill_rank is None
+            and args.partition is None):
         raise SystemExit("chaos: nothing to inject; pass --drop, --duplicate, "
-                         "--corrupt and/or --kill-rank")
+                         "--corrupt, --kill-rank and/or --partition")
+    if args.partition is None and (args.partition_at is not None
+                                   or args.heal is not None):
+        raise SystemExit("chaos: --partition-at/--heal need --partition")
     lines = []
 
     def fault_free(lib: str):
@@ -522,8 +598,25 @@ def _cmd_chaos(args) -> str:
         [KillSpec(rank=args.kill_rank, time=kill_at)]
         if args.kill_rank is not None else []
     )
+    partitions = []
+    if args.partition is not None:
+        from repro.harness.experiments.figxp_partition import detection_deadline
+
+        groups = _parse_partition(args.partition, nranks)
+        cut_at = args.partition_at if args.partition_at is not None else (
+            0.3 * base.mean_time * args.iterations
+        )
+        deadline = detection_deadline()
+        heal_at = args.heal if args.heal is not None else (
+            cut_at + 4.0 * deadline
+        )
+        try:
+            partitions = [PartitionSpec(groups=groups, start=cut_at,
+                                        heal=heal_at)]
+        except ValueError as exc:
+            raise SystemExit(f"chaos: {exc}") from None
     plan = FaultPlan(losses=losses, kills=kills, corrupts=corrupts,
-                     seed=args.seed)
+                     partitions=partitions, seed=args.seed)
     desc = []
     if lossy:
         desc.append(f"drop={args.drop:g} duplicate={args.duplicate:g} per message")
@@ -531,6 +624,16 @@ def _cmd_chaos(args) -> str:
         desc.append(f"corrupt={args.corrupt:g} per message")
     if kills:
         desc.append(f"kill rank {args.kill_rank} at t={kill_at * 1e3:.3f} ms")
+    if partitions:
+        sides = " | ".join(
+            f"{len(g)} rank(s)" for g in partitions[0].groups
+        )
+        rel = "before" if heal_at - cut_at < deadline else "after"
+        desc.append(
+            f"partition [{sides}] at t={cut_at * 1e3:.3f} ms, heal at "
+            f"t={heal_at * 1e3:.3f} ms ({rel} the "
+            f"{deadline * 1e3:.1f} ms detection deadline)"
+        )
     if args.recover:
         desc.append("recovery armed")
     lines.append(f"fault plan: {'; '.join(desc)} (seed={args.seed})")
@@ -545,7 +648,8 @@ def _cmd_chaos(args) -> str:
             spec, nranks, lib, args.operation, args.nbytes,
             iterations=args.iterations, seed=args.seed, fault_plan=plan,
             recover=recover,
-            sanitize=not kills,  # a hung schedule legitimately leaves wreckage
+            # A hung schedule legitimately leaves wreckage.
+            sanitize=not kills and not partitions,
         )
         lines.append(f"faulty      {r}")
         if not r.completed:
@@ -570,6 +674,15 @@ def _cmd_chaos(args) -> str:
             lines.append(
                 f"            -> integrity: {r.transport.get('checksum_rejects', 0)} "
                 f"checksum rejections repaired via {nacks} NACK retransmits"
+            )
+        if partitions:
+            severed = r.transport.get("severed", 0)
+            severed_ctl = r.transport.get("severed_control", 0)
+            parked = r.transport.get("sends_parked", 0)
+            lines.append(
+                f"            -> partition: {severed} data / {severed_ctl} "
+                f"control launches severed, {parked} send(s) parked, "
+                f"false_kills={r.false_kills}, quorum_parks={r.quorum_parks}"
             )
     return "\n".join(lines)
 
@@ -925,6 +1038,32 @@ def _cmd_verify(args) -> int:
             if not sweep.ok:
                 ok = False
                 entry["ok"] = False
+        if args.partition_sweep and spec.family == "adapt" and spec.recovery:
+            from repro.verify import partition_sweep
+
+            psweep = partition_sweep(
+                schedule, nranks=args.ranks, tree=args.tree,
+                nbytes=args.nbytes, segment_size=args.segment_size,
+                root=args.root, max_states=max_states,
+                budget_seconds=args.budget_seconds,
+            )
+            psweep_status = "ok " if psweep.ok else "FAIL"
+            print(f"{psweep_status} {schedule} partition-sweep: "
+                  f"{psweep.verdict()} ({psweep.elapsed:.2f}s)")
+            for cut in psweep.cuts:
+                for issue in cut.issues[:4]:
+                    print(f"     cut {cut.side_a}|{cut.side_b}: {issue}")
+            entry["partition_sweep"] = {
+                "ok": psweep.ok,
+                "mode": psweep.mode,
+                "triples": psweep.triples,
+                "cuts": len(psweep.cuts),
+                "witnessed": psweep.witnessed,
+                "base_states": psweep.base.states_explored,
+            }
+            if not psweep.ok:
+                ok = False
+                entry["ok"] = False
         report["schedules"][schedule] = entry
         if not ok:
             exit_code = max(exit_code, 2 if not exploration.complete else 1)
@@ -970,7 +1109,7 @@ def _cmd_machines() -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
-                        "table1", "figx", "figxr"):
+                        "table1", "figx", "figxr", "figxp"):
         print(_cmd_experiment(args))
     elif args.command == "run":
         print(_cmd_run(args))

@@ -239,6 +239,20 @@ class _AdaptBcastRank:
         if self.parent is not None and dead == self.parent:
             self._reparent()
 
+    def on_alive(self, back: int) -> None:
+        """A failed-then-retracted rank: the detector withdrew its verdict.
+
+        Tolerated, not re-integrated: the repair (excusal/adoption) already
+        re-routed around ``back`` and stays in force; only the retraction is
+        recorded. A heal that beats the detection deadline never reaches
+        on_failure at all, so the original tree resumes untouched.
+        Idempotent — alive-after-failed and alive-without-failed both land
+        here safely.
+        """
+        if back == self.local or back not in self._handled_failures:
+            return
+        self.handle.report.retractions.add(back)
+
     def _failed_locals(self) -> set[int]:
         detector = self.ctx.world.failure_detector
         if detector is None:
@@ -347,7 +361,8 @@ def bcast_adapt(
         # Kick-off happens on the rank's CPU, like entering MPI_Bcast.
         ctx.rt(local).cpu.when_available(rank_state._start)
         # Degraded mode: learn of crashes after the kick-off is queued.
-        ctx.subscribe_failures(local, rank_state.on_failure)
+        ctx.subscribe_failures(local, rank_state.on_failure,
+                               alive_fn=rank_state.on_alive)
     return handle
 
 
@@ -481,6 +496,13 @@ class _AdaptReduceRank:
         if self.parent is not None and dead == self.parent:
             self._abandon_upward(dead)
 
+    def on_alive(self, back: int) -> None:
+        """Alive-after-failed retraction: tolerated, not re-integrated (the
+        dropped child / abandoned parent repair stays in force). Idempotent."""
+        if back == self.local or back not in self._handled_failures:
+            return
+        self.handle.report.retractions.add(back)
+
     def _drop_child(self, dead: int) -> None:
         """Skip the dead subtree: contributions it already delivered stay
         folded; segments it was holding up close without it."""
@@ -541,5 +563,6 @@ def reduce_adapt(
     for local in ranks if ranks is not None else range(ctx.comm.size):
         rank_state = _AdaptReduceRank(ctx, handle, local)
         ctx.rt(local).cpu.when_available(rank_state._start)
-        ctx.subscribe_failures(local, rank_state.on_failure)
+        ctx.subscribe_failures(local, rank_state.on_failure,
+                               alive_fn=rank_state.on_alive)
     return handle

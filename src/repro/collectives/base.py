@@ -45,6 +45,11 @@ class CompletionReport:
     # results belong to (0 = the original launch, never shrunk).
     agreed_failed: set[int] = field(default_factory=set)
     epoch: int = 0
+    # Partition tolerance (DESIGN.md S22): local ranks the detector declared
+    # failed and later *retracted* (alive-after-failed). The repair already
+    # routed around them and is not undone — these are the "false kills" a
+    # binary detector would have made permanent.
+    retractions: set[int] = field(default_factory=set)
 
     def note(self, text: str) -> None:
         if text not in self.notes:
@@ -62,6 +67,8 @@ class CompletionReport:
             parts.append(f"adoptions={self.adoptions}")
         if self.lost_subtrees:
             parts.append(f"lost_subtrees={sorted(set(self.lost_subtrees))}")
+        if self.retractions:
+            parts.append(f"retracted={sorted(self.retractions)}")
         parts.extend(self.notes)
         return "; ".join(parts)
 
@@ -188,7 +195,12 @@ class CollectiveContext:
 
     # -- fault surface -------------------------------------------------------------
 
-    def subscribe_failures(self, local: int, fn: Callable[[int], None]) -> None:
+    def subscribe_failures(
+        self,
+        local: int,
+        fn: Callable[[int], None],
+        alive_fn: Optional[Callable[[int], None]] = None,
+    ) -> None:
         """Route failure-detector events to a rank's state machine.
 
         Inert in the default fault-free configuration (no detector ever
@@ -198,6 +210,11 @@ class CollectiveContext:
         arrive as *local* ranks of this communicator, dispatch on
         ``local``'s CPU (so a dead or noisy rank learns never or late), and
         include failures declared before subscription.
+
+        ``alive_fn`` hears *retractions*: the adaptive detector un-declaring
+        a rank whose liveness evidence returned (a partitioned or stalled
+        process, not a dead one). It may fire after ``fn`` reported the same
+        rank failed and must tolerate that ordering.
         """
         comm = self.comm
 
@@ -205,7 +222,16 @@ class CollectiveContext:
             if world_rank in comm:
                 fn(comm.local_rank(world_rank))
 
-        self.world.subscribe_failures(on_fail, cpu=self.rt(local).cpu)
+        on_alive: Optional[Callable[[int], None]] = None
+        if alive_fn is not None:
+
+            def on_alive(world_rank: int) -> None:
+                if world_rank in comm:
+                    alive_fn(comm.local_rank(world_rank))
+
+        self.world.subscribe_failures(
+            on_fail, cpu=self.rt(local).cpu, alive_fn=on_alive
+        )
 
     # -- reduction helpers ----------------------------------------------------------
 

@@ -199,6 +199,13 @@ class _AdaptScatterRank:
             self.handle.excuse(self.local)
         self._maybe_finish()
 
+    def on_alive(self, back: int) -> None:
+        """Alive-after-failed retraction: tolerated, not re-integrated (the
+        adoption/re-parenting repair stays in force). Idempotent."""
+        if back == self.local or back not in self._handled_failures:
+            return
+        self.handle.report.retractions.add(back)
+
     def _live_descendants(self, dead: int, failed: set[int]) -> list[int]:
         out: list[int] = []
         stack = list(self.tree.children[dead])
@@ -263,7 +270,8 @@ def scatter_adapt(
     for local in ranks if ranks is not None else range(P):
         rank_state = _AdaptScatterRank(ctx, handle, local, base_tag, blocks)
         ctx.rt(local).cpu.when_available(rank_state._start)
-        ctx.subscribe_failures(local, rank_state.on_failure)
+        ctx.subscribe_failures(local, rank_state.on_failure,
+                               alive_fn=rank_state.on_alive)
     return handle
 
 
@@ -498,6 +506,13 @@ class _AdaptBarrierRank:
         if self.parent is not None and dead == self.parent:
             self._reparent(failed)
 
+    def on_alive(self, back: int) -> None:
+        """Alive-after-failed retraction: tolerated, not re-integrated (the
+        weakened-barrier repair stays in force). Idempotent."""
+        if back == self.local or back not in self._handled_failures:
+            return
+        self.handle.report.retractions.add(back)
+
     def _live_descendants(self, dead: int, failed: set[int]) -> list[int]:
         out: list[int] = []
         stack = list(self.tree.children[dead])
@@ -556,5 +571,6 @@ def barrier_adapt(
     for local in ranks if ranks is not None else range(P):
         rank_state = _AdaptBarrierRank(ctx, handle, local, base_tag)
         ctx.rt(local).cpu.when_available(rank_state._start)
-        ctx.subscribe_failures(local, rank_state.on_failure)
+        ctx.subscribe_failures(local, rank_state.on_failure,
+                               alive_fn=rank_state.on_alive)
     return handle

@@ -127,6 +127,13 @@ class _AdaptAlltoallRank:
         self.sends_open.discard(dead)
         self._maybe_finish()
 
+    def on_alive(self, back: int) -> None:
+        """Alive-after-failed retraction: tolerated, not re-integrated (the
+        zero-filled block and written-off send stay excused). Idempotent."""
+        if back == self.local or back not in self._handled_failures:
+            return
+        self.handle.report.retractions.add(back)
+
     # -- completion -----------------------------------------------------------
 
     def _maybe_finish(self) -> None:
@@ -170,5 +177,6 @@ def alltoall_adapt(
     for local in ranks if ranks is not None else range(P):
         rank_state = _AdaptAlltoallRank(ctx, handle, local, base_tag)
         ctx.rt(local).cpu.when_available(rank_state._start)
-        ctx.subscribe_failures(local, rank_state.on_failure)
+        ctx.subscribe_failures(local, rank_state.on_failure,
+                               alive_fn=rank_state.on_alive)
     return handle

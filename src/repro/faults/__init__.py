@@ -10,7 +10,14 @@ generator so identical seeds give byte-identical fault timelines.
 
 from repro.faults.detector import FailureDetector
 from repro.faults.injector import FabricFaults, FaultInjector
-from repro.faults.plan import FaultPlan, FlapSpec, KillSpec, LossSpec, StallSpec
+from repro.faults.plan import (
+    FaultPlan,
+    FlapSpec,
+    KillSpec,
+    LossSpec,
+    PartitionSpec,
+    StallSpec,
+)
 
 __all__ = [
     "FailureDetector",
@@ -20,5 +27,6 @@ __all__ = [
     "FlapSpec",
     "KillSpec",
     "LossSpec",
+    "PartitionSpec",
     "StallSpec",
 ]

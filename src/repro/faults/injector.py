@@ -73,6 +73,28 @@ class FabricFaults:
             return swallowed, dup_cb
         return on_complete, dup_cb
 
+    def severed(self, src: int, dst: int) -> bool:
+        """True when an active partition cuts the (src -> dst) path.
+
+        Consulted by the fabric for *every* launch — data transfers and
+        control messages alike. A severed message never enters the network:
+        no wire time, no channel occupancy, no delivery. Severed is not
+        lost; the reliable transport parks and resumes after the heal.
+        """
+        return any(p.severs(src, dst) for p in self._injector.active_partitions)
+
+    def count_severed(self, src: int, dst: int, nbytes: int, taginfo) -> None:
+        """Book a severed launch. Data-plane messages (those the runtime
+        counted as transmissions: eager, data, rts) feed the transport
+        conservation equation; acks/heartbeats/membership tokens are booked
+        separately as control."""
+        inj = self._injector
+        kind = taginfo[0] if taginfo else None
+        if kind in ("eager", "data", "rts"):
+            inj.severed += 1
+        else:
+            inj.severed_control += 1
+
     def corrupt_roll(
         self, src: int, dst: int, nbytes: int, taginfo
     ) -> Optional[int]:
@@ -110,6 +132,12 @@ class FaultInjector:
         self.kills_done = 0
         self.stalls_done = 0
         self.flap_toggles = 0
+        self.severed = 0  # data-plane launches cut by an active partition
+        self.severed_control = 0  # acks / heartbeats / membership tokens cut
+        self.partitions_done = 0
+        self.heals_done = 0
+        #: Partitions currently splitting the fabric (between start and heal).
+        self.active_partitions: list = []
         # Independent phase per flap spec, fixed for the injector's lifetime
         # (same draw discipline as NoiseInjector rank phases).
         self._flap_phase = [
@@ -123,11 +151,14 @@ class FaultInjector:
         # collectives subscribe to the detector at launch time, which may
         # precede the first arm() of the driving loop.
         self.detector: Optional[FailureDetector] = None
-        if plan.losses or plan.corrupts:
+        if plan.losses or plan.corrupts or plan.partitions:
             world.fabric.faults = self.fabric_faults
-        if plan.kills:
+        if plan.kills or plan.partitions or plan.adaptive:
             self.detector = world.failure_detector or FailureDetector(
-                world, plan.detect_delay
+                world,
+                plan.detect_delay,
+                phi_threshold=plan.phi_threshold,
+                heartbeat_period=plan.heartbeat_period,
             )
         for spec in plan.kills:
             if not 0 <= spec.rank < world.nranks:
@@ -138,6 +169,13 @@ class FaultInjector:
             if not 0 <= spec.rank < world.nranks:
                 raise ValueError(
                     f"stall rank {spec.rank} outside [0, {world.nranks})"
+                )
+        for spec in plan.partitions:
+            ranks = spec.ranks()
+            if ranks != frozenset(range(world.nranks)):
+                raise ValueError(
+                    f"partition groups must cover all {world.nranks} ranks "
+                    f"exactly; got {sorted(ranks)}"
                 )
 
     # -- bookkeeping ---------------------------------------------------------
@@ -179,6 +217,13 @@ class FaultInjector:
             for spec in self.plan.stalls:
                 eng.call_at(spec.time, self._do_stall, spec.rank, spec.duration)
                 scheduled += 1
+            for spec in self.plan.partitions:
+                eng.call_at(spec.start, self._do_partition, spec)
+                eng.call_at(spec.heal, self._do_heal, spec)
+                scheduled += 2
+        if self.detector is not None and (self.plan.partitions
+                                          or self.plan.adaptive):
+            self.detector.arm_heartbeats(horizon)
         for i, spec in enumerate(self.plan.flaps):
             end = eng.now + horizon
             start = max(eng.now, self._flap_armed_until[i])
@@ -203,6 +248,26 @@ class FaultInjector:
         detector = self.world.failure_detector
         if detector is not None:
             detector.observe_kill(rank)
+
+    def _do_partition(self, spec) -> None:
+        self.partitions_done += 1
+        self.active_partitions.append(spec)
+        groups = "|".join(
+            ",".join(str(r) for r in g) for g in spec.groups
+        )
+        self.record("partition", f"[{groups}] until {spec.heal:.6f}s")
+
+    def _do_heal(self, spec) -> None:
+        if spec not in self.active_partitions:
+            return
+        self.heals_done += 1
+        self.active_partitions.remove(spec)
+        self.record("heal", f"severed {self.severed} data msgs")
+        # The membership layer may be parked awaiting quorum or holding view
+        # dispatches it could not deliver across the cut; let it reconcile.
+        svc = getattr(self.world, "membership", None)
+        if svc is not None:
+            svc.on_heal()
 
     def _do_stall(self, rank: int, duration: float) -> None:
         if rank in self.world.failed_ranks:

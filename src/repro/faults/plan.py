@@ -120,14 +120,79 @@ class FlapSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """Split the fabric into isolated ``groups`` from ``start`` until ``heal``.
+
+    While active, every message whose endpoints sit in *different* groups is
+    **severed** at the fabric boundary — data, acks, control tokens and
+    heartbeats alike. Severed is not lost: nothing crosses, so the reliable
+    transport parks and resumes after the heal instead of abandoning. Ranks
+    must appear in exactly one group; the injector additionally checks that
+    the groups cover the whole world.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    start: float
+    heal: float
+
+    def __init__(self, groups, start: float, heal: float):
+        # Frozen dataclass with nested coercion, so asdict/JSON round-trips
+        # (lists of lists) rebuild cleanly via plan_from_dict.
+        object.__setattr__(
+            self, "groups", tuple(tuple(int(r) for r in g) for g in groups)
+        )
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "heal", float(heal))
+        if len(self.groups) < 2:
+            raise ValueError(
+                f"a partition needs >= 2 groups, got {len(self.groups)}"
+            )
+        seen: set[int] = set()
+        for g in self.groups:
+            if not g:
+                raise ValueError("partition groups must be non-empty")
+            overlap = seen & set(g)
+            if overlap:
+                raise ValueError(
+                    f"partition groups must be disjoint; rank(s) "
+                    f"{sorted(overlap)} appear twice"
+                )
+            seen |= set(g)
+        if self.start < 0:
+            raise ValueError(f"partition start must be >= 0, got {self.start}")
+        if self.heal <= self.start:
+            raise ValueError(
+                f"partition heal must be > start, got start={self.start} "
+                f"heal={self.heal}"
+            )
+
+    def side_of(self, rank: int) -> Optional[int]:
+        """Index of the group holding ``rank`` (None if unlisted)."""
+        for i, g in enumerate(self.groups):
+            if rank in g:
+                return i
+        return None
+
+    def severs(self, src: int, dst: int) -> bool:
+        """True when the cut lies between these endpoints."""
+        a, b = self.side_of(src), self.side_of(dst)
+        return a is not None and b is not None and a != b
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset(r for g in self.groups for r in g)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One seeded fault workload.
 
     ``seed`` drives every probabilistic decision (drops, duplicates, flap
     phases): two injectors built from equal plans over identical workloads
     produce byte-identical fault timelines. ``detect_delay`` is how long
-    after a crash the failure detector notices it — the timeout a real
-    heartbeat/ack-based detector would need.
+    the detector waits between suspecting a rank and confirming the failure
+    (the retraction window); ``phi_threshold``/``heartbeat_period``
+    parameterize the phi-accrual detector, armed whenever the plan carries
+    partitions or sets ``adaptive``.
     """
 
     kills: tuple[KillSpec, ...] = ()
@@ -135,8 +200,12 @@ class FaultPlan:
     losses: tuple[LossSpec, ...] = ()
     flaps: tuple[FlapSpec, ...] = ()
     corrupts: tuple[CorruptSpec, ...] = ()
+    partitions: tuple[PartitionSpec, ...] = ()
     seed: int = 0
     detect_delay: float = 1e-3
+    phi_threshold: float = 8.0
+    heartbeat_period: float = 1e-3
+    adaptive: bool = False
 
     def __init__(
         self,
@@ -147,6 +216,10 @@ class FaultPlan:
         corrupts=(),
         seed: int = 0,
         detect_delay: float = 1e-3,
+        partitions=(),
+        phi_threshold: float = 8.0,
+        heartbeat_period: float = 1e-3,
+        adaptive: bool = False,
     ):
         # Frozen dataclass with sequence coercion: accept any iterables.
         object.__setattr__(self, "kills", tuple(kills))
@@ -154,14 +227,27 @@ class FaultPlan:
         object.__setattr__(self, "losses", tuple(losses))
         object.__setattr__(self, "flaps", tuple(flaps))
         object.__setattr__(self, "corrupts", tuple(corrupts))
+        object.__setattr__(self, "partitions", tuple(partitions))
         object.__setattr__(self, "seed", seed)
         object.__setattr__(self, "detect_delay", detect_delay)
+        object.__setattr__(self, "phi_threshold", float(phi_threshold))
+        object.__setattr__(self, "heartbeat_period", float(heartbeat_period))
+        object.__setattr__(self, "adaptive", bool(adaptive))
         if detect_delay < 0:
             raise ValueError(f"detect_delay must be >= 0, got {detect_delay}")
+        if phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be > 0, got {phi_threshold}"
+            )
+        if heartbeat_period <= 0:
+            raise ValueError(
+                f"heartbeat_period must be > 0, got {heartbeat_period}"
+            )
 
     def empty(self) -> bool:
         return not (
-            self.kills or self.stalls or self.losses or self.flaps or self.corrupts
+            self.kills or self.stalls or self.losses or self.flaps
+            or self.corrupts or self.partitions
         )
 
     @classmethod
@@ -183,9 +269,12 @@ FAULT_KINDS: dict[str, type] = {
     "losses": LossSpec,
     "flaps": FlapSpec,
     "corrupts": CorruptSpec,
+    "partitions": PartitionSpec,
 }
 
-_SCALARS = ("seed", "detect_delay")
+_SCALARS = (
+    "seed", "detect_delay", "phi_threshold", "heartbeat_period", "adaptive",
+)
 
 
 def plan_from_dict(payload: dict) -> FaultPlan:

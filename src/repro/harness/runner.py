@@ -69,6 +69,11 @@ class RunResult:
     # failed set (world ranks) and its worst suspect-to-commit latency.
     failed_ranks: list = field(default_factory=list)
     time_to_repair: Optional[float] = None
+    # Partition tolerance (repro.faults.detector): ranks the adaptive
+    # detector confirmed failed and later retracted (false kills), and
+    # how many membership rounds parked awaiting quorum.
+    false_kills: int = 0
+    quorum_parks: int = 0
 
     def to_dict(self) -> dict:
         """JSON-able form (the parallel executor's wire/cache format)."""
@@ -89,6 +94,8 @@ class RunResult:
             "trace_truncated": self.trace_truncated,
             "failed_ranks": list(self.failed_ranks),
             "time_to_repair": self.time_to_repair,
+            "false_kills": self.false_kills,
+            "quorum_parks": self.quorum_parks,
         }
 
     @classmethod
@@ -209,12 +216,19 @@ def run_collective(
     if runtime_config is None:
         # Corruption needs the reliable transport too: a checksum-rejected
         # rendezvous on the raw transport is just a lost message.
+        # Partitions need it likewise: severed traffic must be retried
+        # (heal-before-deadline) or abandoned (confirmed failure), and the
+        # raw transport can do neither.
         reliable = bool(
             fault_plan is not None
-            and (fault_plan.losses or fault_plan.corrupts)
+            and (fault_plan.losses or fault_plan.corrupts or fault_plan.partitions)
         )
         runtime_config = RuntimeConfig(reliable=reliable)
-    if fault_plan is not None and fault_plan.kills and time_limit is None:
+    if (
+        fault_plan is not None
+        and (fault_plan.kills or fault_plan.partitions)
+        and time_limit is None
+    ):
         time_limit = 10.0
     world = MpiWorld(
         spec,
@@ -269,15 +283,23 @@ def run_collective(
             if faults is not None:
                 result.transport["dropped"] = faults._injector.dropped
                 result.transport["duplicated"] = faults._injector.duplicated
+                result.transport["severed"] = faults._injector.severed
+                result.transport["severed_control"] = (
+                    faults._injector.severed_control
+                )
         live = [h for h in handles if h is not None]
         result.degraded = any(h.report.degraded for h in live)
         result.completed = bool(live) and all(h.done for h in live) and (
             len(live) == len(handles)
         )
+        detector = world.failure_detector
+        if detector is not None:
+            result.false_kills = detector.false_kills
         membership = getattr(world, "membership", None)
         if membership is not None:
             result.failed_ranks = sorted(membership.view.failed)
             result.time_to_repair = membership.time_to_repair()
+            result.quorum_parks = membership.quorum_parks
         elif live:
             agreed: set = set()
             for h in live:

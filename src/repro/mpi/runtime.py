@@ -73,7 +73,7 @@ class _ReliableSend:
 
     __slots__ = (
         "seq", "req", "kind", "payload", "src_space", "dst_space",
-        "recv_req", "attempt", "timer",
+        "recv_req", "attempt", "timer", "parked",
     )
 
     def __init__(self, seq, req, kind, payload, src_space, dst_space, recv_req=None):
@@ -86,6 +86,7 @@ class _ReliableSend:
         self.recv_req = recv_req
         self.attempt = 0
         self.timer = None
+        self.parked = False  # retry budget spent, peer merely suspected
 
 
 class RankRuntime:
@@ -110,6 +111,12 @@ class RankRuntime:
         # Reliable transport (config.reliable): per-message ack/retransmit.
         self._send_seq = 0
         self._reliable_pending: dict[int, _ReliableSend] = {}
+        # Sends whose retry budget ran dry against a merely *suspected* peer
+        # park here (keyed by peer) and probe at a slow capped-backoff
+        # cadence until the peer is confirmed dead (abandon) or evidence of
+        # life arrives (resume) — a partitioned peer is not a dead peer.
+        self._parked: dict[int, list[_ReliableSend]] = {}
+        self._peer_watch = False
         # Statistics.
         self.sends_posted = 0
         self.recvs_posted = 0
@@ -120,7 +127,8 @@ class RankRuntime:
         self.acks_sent = 0
         self.nacks_sent = 0          # corrupt arrivals bounced back for retransmit
         self.checksum_rejects = 0    # deliveries refused on checksum mismatch
-        self.sends_abandoned = 0     # retry budget exhausted (peer presumed dead)
+        self.sends_abandoned = 0     # retry budget exhausted (peer confirmed dead)
+        self.sends_parked = 0        # budget exhausted but peer only suspected
         self.msgs_lost_dead = 0      # reliable messages that reached a dead rank
 
     # -- helpers ---------------------------------------------------------------
@@ -390,9 +398,11 @@ class RankRuntime:
                 dst_rt._handle_arrival(msg)
 
             # RTS rides the reliable control channel; the ack/retry loop here
-            # detects a dead receiver, not message loss.
+            # detects a dead receiver, not message loss. The taginfo marks it
+            # as a counted transmission for severed-message accounting.
             self.world.fabric.start_control(
-                req.rank, req.peer, self.world.config.control_bytes, on_rts_arrival
+                req.rank, req.peer, self.world.config.control_bytes,
+                on_rts_arrival, taginfo=("rts", req.rank, req.peer, req.tag),
             )
             wire_bytes = self.world.config.control_bytes
         elif state.kind == "eager":
@@ -446,35 +456,97 @@ class RankRuntime:
 
         The 4x uncontended-transfer-time term keeps large segments on a
         congested fabric from triggering spurious retransmissions; the
-        exponential backoff dominates once real loss is in play.
+        exponential backoff dominates once real loss is in play. Backoff is
+        capped at the retry limit so a *parked* send (budget spent, peer
+        suspected-not-confirmed) probes at a bounded cadence instead of
+        backing off forever.
         """
         cfg = self.world.config
         route = self.world.fabric.route(
             self.rank, state.req.peer, state.src_space, state.dst_space
         )
         base = cfg.ack_timeout + 4.0 * route.uncontended_time(wire_bytes)
-        return base * (cfg.retry_backoff ** (state.attempt - 1))
+        exponent = min(state.attempt, cfg.retry_limit) - 1
+        return base * (cfg.retry_backoff ** exponent)
 
     def _on_ack_timeout(self, state: _ReliableSend) -> None:
         if state.seq not in self._reliable_pending:
             return  # acked while the timer was in flight
         if state.attempt >= self.world.config.retry_limit:
-            del self._reliable_pending[state.seq]
-            self.sends_abandoned += 1
-            self._trace(
-                "send-abandon",
-                f"-> {state.req.peer} tag={state.req.tag} seq={state.seq} "
-                f"after {state.attempt} attempts",
-            )
+            peer = state.req.peer
             detector = self.world.failure_detector
-            if detector is not None:
+            if detector is not None and peer not in detector.failed:
+                # The peer is suspected, not confirmed: a partitioned or
+                # stalled process looks exactly like a dead one from here.
+                # Raise the suspicion (routed through the detector's delayed
+                # confirm path) and park — keep probing at the capped-backoff
+                # cadence until the detector either confirms the death
+                # (abandon, via _on_peer_failed) or retracts it / the probe
+                # lands (resume).
+                if not state.parked:
+                    state.parked = True
+                    self.sends_parked += 1
+                    self._parked.setdefault(peer, []).append(state)
+                    self._trace(
+                        "send-park",
+                        f"-> {peer} tag={state.req.tag} seq={state.seq} "
+                        f"after {state.attempt} attempts",
+                    )
+                    self._watch_peers()
                 detector.suspect(
-                    state.req.peer,
+                    peer,
                     reason=f"rank {self.rank}: no ack after {state.attempt} attempts",
                 )
-            state.req.cancel()
+                self._transmit(state)
+                return
+            self._abandon(state)
             return
         self._transmit(state)
+
+    def _abandon(self, state: _ReliableSend) -> None:
+        """Give up on a reliable send: the peer is confirmed (or presumed,
+        absent any detector) dead."""
+        if state.seq not in self._reliable_pending:
+            return
+        del self._reliable_pending[state.seq]
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        self.sends_abandoned += 1
+        self._trace(
+            "send-abandon",
+            f"-> {state.req.peer} tag={state.req.tag} seq={state.seq} "
+            f"after {state.attempt} attempts",
+        )
+        state.req.cancel()
+
+    def _watch_peers(self) -> None:
+        """Lazily subscribe to failure/retraction transitions (once)."""
+        if self._peer_watch:
+            return
+        self._peer_watch = True
+        self.world.subscribe_failures(
+            self._on_peer_failed, alive_fn=self._on_peer_alive
+        )
+
+    def _on_peer_failed(self, peer: int) -> None:
+        if not self.alive:
+            return
+        for state in self._parked.pop(peer, []):
+            self._abandon(state)
+
+    def _on_peer_alive(self, peer: int) -> None:
+        """A suspected/failed peer acked again: resume parked sends now."""
+        if not self.alive:
+            return
+        for state in self._parked.pop(peer, []):
+            if state.seq not in self._reliable_pending:
+                continue
+            if state.timer is not None:
+                state.timer.cancel()
+                state.timer = None
+            state.parked = False
+            self._transmit(state)
 
     def _send_ack(self, dst: int, seq: int) -> None:
         """Receiver side: confirm delivery of ``seq`` back to the sender."""
@@ -525,6 +597,11 @@ class RankRuntime:
         if state.timer is not None:
             state.timer.cancel()
             state.timer = None
+        detector = self.world.failure_detector
+        if detector is not None:
+            # An ack is liveness evidence: it retracts a standing suspicion
+            # of the peer (the ISSUE's "a suspected rank that acks again").
+            detector.observe_alive(state.req.peer)
         if state.kind == "data":
             # Rendezvous data: the sender's buffer is free only once the
             # receiver confirmed delivery.
@@ -562,6 +639,9 @@ class RankRuntime:
             # so the intact retransmit (NACK-triggered) is still fresh.
             self._send_nack(src, seq)
             return
+        detector = self.world.failure_detector
+        if detector is not None:
+            detector.observe_alive(src)
         fresh = self.matcher.register_seq(src, seq)
         self._send_ack(src, seq)
         if not fresh:
@@ -608,6 +688,9 @@ class RankRuntime:
             # Reliable transport: ack every arrival (the sender's copy of a
             # duplicated or retransmitted message still needs silencing),
             # deliver each sequence number at most once.
+            detector = self.world.failure_detector
+            if detector is not None:
+                detector.observe_alive(msg.src)
             fresh = self.matcher.register_seq(msg.src, msg.seq)
             self._send_ack(msg.src, msg.seq)
             if not fresh:
@@ -772,12 +855,17 @@ class MpiWorld:
         self.membership: Any = None
         self._next_tag = 0
 
-    def subscribe_failures(self, fn, cpu=None) -> None:
-        """Register a failure callback, detector present or not (yet)."""
+    def subscribe_failures(self, fn, cpu=None, alive_fn=None) -> None:
+        """Register a failure callback, detector present or not (yet).
+
+        ``alive_fn`` (optional) hears retractions — a suspected or even
+        declared-failed rank that produced liveness evidence again. It may
+        fire without a preceding ``fn`` call and must be idempotent.
+        """
         if self.failure_detector is not None:
-            self.failure_detector.subscribe(fn, cpu=cpu)
+            self.failure_detector.subscribe(fn, cpu=cpu, alive_fn=alive_fn)
         else:
-            self._failure_subscribers.append((fn, cpu))
+            self._failure_subscribers.append((fn, cpu, alive_fn))
 
     def allocate_tags(self, count: int) -> int:
         """Reserve a contiguous tag range (collectives namespace segments)."""
@@ -818,6 +906,7 @@ class MpiWorld:
                 state.timer.cancel()
             state.req.cancel()
         rt._reliable_pending.clear()
+        rt._parked.clear()
 
     def transport_stats(self) -> dict[str, int]:
         """Aggregate reliable-transport counters across ranks."""
@@ -828,6 +917,7 @@ class MpiWorld:
             "nacks_sent": sum(rt.nacks_sent for rt in self.ranks),
             "checksum_rejects": sum(rt.checksum_rejects for rt in self.ranks),
             "sends_abandoned": sum(rt.sends_abandoned for rt in self.ranks),
+            "sends_parked": sum(rt.sends_parked for rt in self.ranks),
             "msgs_lost_dead": sum(rt.msgs_lost_dead for rt in self.ranks),
             "duplicates_suppressed": sum(
                 rt.matcher.duplicates_suppressed for rt in self.ranks

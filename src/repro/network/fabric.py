@@ -299,7 +299,15 @@ class Fabric:
         ``taginfo`` (MPI data plane; staging copies pass None and are
         exempt). The filter wraps ``on_complete`` *before* channel chaining,
         so a dropped message still releases its in-order channel.
+
+        An active network partition *severs* cross-cut transfers: the
+        message never enters the wire — no flow, no channel occupancy, no
+        delivery (unlike a drop, where the bytes cross and the delivery
+        evaporates).
         """
+        if self.faults is not None and self.faults.severed(src, dst):
+            self.faults.count_severed(src, dst, nbytes, taginfo)
+            return None
         if self.faults is not None and taginfo is not None:
             on_complete, dup_cb = self.faults.intercept(
                 src, dst, nbytes, taginfo, on_complete
@@ -353,14 +361,21 @@ class Fabric:
         dst: int,
         nbytes: int,
         on_complete: Callable[[], None],
+        taginfo=None,
     ) -> None:
         """Deliver a tiny control message (RTS/CTS) after path latency.
 
         Control packets are a few cache lines; their serialization time is
         negligible and real fabrics absorb them without disturbing bulk
         transfers, so they are modelled as pure latency rather than flows —
-        they never join contention components.
+        they never join contention components. They *are* subject to
+        partition severing (an ack, heartbeat, or membership token cannot
+        cross a cut any more than data can); ``taginfo`` only classifies
+        the severed-message accounting and enables no other fault kind.
         """
+        if self.faults is not None and self.faults.severed(src, dst):
+            self.faults.count_severed(src, dst, nbytes, taginfo)
+            return
         route = self.route(src, dst, MemSpace.HOST, MemSpace.HOST)
         delay = route.latency + nbytes / route.rate_cap
         self.engine.call_after(delay, on_complete)

@@ -26,7 +26,10 @@ from repro.faults.plan import FaultPlan
 #: wire format and SimJob gained the ``observe`` knob.
 #: 3: live recovery — fault plans gained the ``corrupts`` kind, results the
 #: ``failed_ranks``/``time_to_repair`` fields, SimJob the ``recover`` knob.
-CACHE_SCHEMA = 3
+#: 4: partition tolerance — fault plans gained ``partitions`` and the
+#: adaptive-detector scalars, results the ``false_kills``/``quorum_parks``
+#: fields and severed transport counters.
+CACHE_SCHEMA = 4
 
 #: Algorithm-variant families resolvable by name in the worker
 #: (fig08 sweeps Intel's per-algorithm topology-aware variants).

@@ -99,6 +99,39 @@ def agreed_view(
     )
 
 
+def has_quorum(failed: Iterable[int], nranks: int) -> bool:
+    """True when the survivors of ``failed`` form a strict majority.
+
+    The split-brain gate: during a partition each side's agreement round
+    proposes the *other* side as failed, and only the side whose survivor
+    count exceeds ``nranks // 2`` may commit. A minority (or an even split)
+    parks in ``awaiting-quorum`` instead — it cannot distinguish "everyone
+    else died" from "I am cut off", so safety wins over liveness.
+    """
+    return 2 * (nranks - len(frozenset(failed))) > nranks
+
+
+def quorum_commit(
+    view: SurvivorView, proposed_failed: Iterable[int], nranks: int
+) -> Optional[SurvivorView]:
+    """The committed next epoch, or ``None`` when quorum is not reached."""
+    failed = frozenset(proposed_failed)
+    if not has_quorum(failed, nranks):
+        return None
+    return agreed_view(view, failed, nranks)
+
+
+def reconcile_views(a: SurvivorView, b: SurvivorView) -> SurvivorView:
+    """Heal-time merge: the higher committed epoch wins (epoch precedence).
+
+    The quorum gate guarantees at most one side committed any given epoch,
+    so precedence is well-defined: the minority side (which parked) adopts
+    the majority's committed epochs, and its stale in-flight completions
+    die on the existing epoch guards.
+    """
+    return a if a.epoch >= b.epoch else b
+
+
 class MembershipService:
     """Drives agreement rounds over a world's ranks.
 
@@ -125,14 +158,23 @@ class MembershipService:
         #: obs layer's time-to-repair metric reads this.
         self.repair_times: list[tuple[float, float]] = []
         self.rounds_run = 0
+        #: Split-brain gate state: True while a proposed view lacks a
+        #: survivor majority and the commit is parked (DESIGN.md S22).
+        self.awaiting_quorum = False
+        self.quorum_parks = 0
         self._pending: set[int] = set()
         self._round_active = False
         self._round_timer = None
         self._watchdog = None
         self._first_suspect_t: Optional[float] = None
         self._subs: list[tuple[Callable[[SurvivorView], None], Optional[int]]] = []
+        #: View dispatches that could not cross an active partition; flushed
+        #: (latest epoch only) at heal time.
+        self._deferred: list[
+            tuple[Callable[[SurvivorView], None], Optional[int], SurvivorView]
+        ] = []
         world.membership = self
-        world.subscribe_failures(self._on_suspect)
+        world.subscribe_failures(self._on_suspect, alive_fn=self._on_retract)
 
     # -- subscription ---------------------------------------------------------
 
@@ -150,10 +192,24 @@ class MembershipService:
         self, fn: Callable[[SurvivorView], None], rank: Optional[int],
         view: SurvivorView,
     ) -> None:
+        if rank is not None and self._severed_from_leader(view, rank):
+            # The commit cannot reach this rank across an active partition;
+            # it adopts the (latest) committed epoch at heal time instead.
+            self._deferred.append((fn, rank, view))
+            return
         if rank is None:
             self.world.engine.call_after(0.0, fn, view)
         else:
             self.world.ranks[rank].cpu.when_available(fn, view)
+
+    def _severed_from_leader(self, view: SurvivorView, rank: int) -> bool:
+        faults = getattr(self.world.fabric, "faults", None)
+        if faults is None or not view.members:
+            return False
+        leader = view.members[0]
+        if leader == rank:
+            return False
+        return faults.severed(leader, rank)
 
     # -- suspicion intake -----------------------------------------------------
 
@@ -166,6 +222,87 @@ class MembershipService:
             self._first_suspect_t = now
         self.timeline.append((now, "suspect", f"rank {rank}"))
         if not self._round_active and self._round_timer is None:
+            self._round_timer = self.world.engine.call_after(
+                self.grace, self._start_round
+            )
+
+    def _on_retract(self, rank: int) -> None:
+        """The detector un-suspected ``rank``: liveness evidence returned."""
+        now = self.world.engine.now
+        if rank in self._pending:
+            self._pending.discard(rank)
+            self.timeline.append((now, "retract", f"rank {rank} alive again"))
+            if not self._pending:
+                self._first_suspect_t = None
+                if self.awaiting_quorum:
+                    # Every suspicion that starved us of quorum evaporated;
+                    # the parked proposal is void and no epoch was burned.
+                    self.awaiting_quorum = False
+                    self.timeline.append(
+                        (now, "quorum-clear", "all suspicions retracted")
+                    )
+            return
+        if rank in self.view.failed:
+            # The rank returned *after* an epoch committed without it.
+            # Committed epochs are permanent (the epoch guards already
+            # discarded its stale work); re-admission is a future epoch's
+            # business, so just note the late arrival.
+            self.timeline.append(
+                (now, "stale-alive",
+                 f"rank {rank} returned after epoch {self.view.epoch} "
+                 f"excluded it")
+            )
+
+    def on_heal(self) -> None:
+        """A partition healed: reconcile parked state across the old cut.
+
+        Deferred view dispatches flush — each parked subscriber adopts only
+        the *latest* committed epoch it missed (epoch precedence; earlier
+        parked epochs are superseded and their in-flight completions die on
+        the epoch guards). If suspicions are still pending (e.g. a round
+        parked awaiting quorum), a fresh round is scheduled: post-heal
+        evidence retracts the false ones and the rest re-propose.
+
+        Ranks a committed epoch declared failed that turn out to be
+        ground-truth alive are *evicted* (the heal-after-deadline fall
+        through to the kill path): committed epochs are permanent, so the
+        stragglers terminate rather than rejoin — exactly what a ULFM shrink
+        does to a process the agreement wrote off. Each eviction is a false
+        kill the adaptive detector could not prevent (the partition outlived
+        the failure deadline), counted as such.
+        """
+        now = self.world.engine.now
+        evicted = [
+            r for r in sorted(self.view.failed)
+            if r not in self.world.failed_ranks
+        ]
+        for r in evicted:
+            self.timeline.append(
+                (now, "evict",
+                 f"rank {r} alive but excluded by epoch {self.view.epoch}; "
+                 f"terminated")
+            )
+            self.world.kill_rank(r)
+            detector = self.world.failure_detector
+            if detector is not None:
+                detector.false_kills += 1
+        deferred, self._deferred = self._deferred, []
+        if deferred:
+            best: dict[tuple[int, Optional[int]],
+                       tuple[Callable[[SurvivorView], None], Optional[int],
+                             SurvivorView]] = {}
+            for fn, rank, view in deferred:
+                key = (id(fn), rank)
+                if key not in best or view.epoch > best[key][2].epoch:
+                    best[key] = (fn, rank, view)
+            for fn, rank, view in best.values():
+                self.timeline.append(
+                    (now, "reconcile",
+                     f"rank {rank} adopts epoch {view.epoch}")
+                )
+                self._dispatch_one(fn, rank, view)
+        if self._pending and self._round_timer is None \
+                and not self._round_active:
             self._round_timer = self.world.engine.call_after(
                 self.grace, self._start_round
             )
@@ -265,7 +402,26 @@ class MembershipService:
             self._watchdog.cancel()
             self._watchdog = None
         failed = frozenset(token["failed"])
-        view = agreed_view(self.view, failed, self.world.nranks)
+        now_t = self.world.engine.now
+        maybe_view = quorum_commit(self.view, failed, self.world.nranks)
+        if maybe_view is None:
+            # Split-brain gate: the survivors of this proposal are not a
+            # strict majority. Park instead of burning an epoch — a minority
+            # partition must never install a view the majority side could
+            # also install. Pending suspicions are kept: retraction (heal)
+            # drains the false ones; on_heal re-rounds for any real deaths.
+            self.awaiting_quorum = True
+            self.quorum_parks += 1
+            self._round_active = False
+            self.timeline.append(
+                (now_t, "awaiting-quorum",
+                 f"proposed failed={sorted(failed)} leaves "
+                 f"{self.world.nranks - len(failed)}/{self.world.nranks} "
+                 f"survivors; commit parked")
+            )
+            return
+        self.awaiting_quorum = False
+        view = maybe_view
         self.view = view
         now = self.world.engine.now
         self.timeline.append((now, "commit", view.describe()))

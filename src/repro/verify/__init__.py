@@ -44,17 +44,22 @@ from repro.verify.model import (
     model_from_graph,
 )
 from repro.verify.recovery_check import (
+    CutReport,
     KillSweepResult,
+    PartitionSweepResult,
     VictimReport,
     kill_sweep,
+    partition_sweep,
 )
 
 __all__ = [
     "DEADLOCK",
     "RACE",
     "UNMATCHED_SEND",
+    "CutReport",
     "Exploration",
     "KillSweepResult",
+    "PartitionSweepResult",
     "MatchEvent",
     "ModelOp",
     "ReplayResult",
@@ -70,6 +75,7 @@ __all__ = [
     "first_violation",
     "kill_sweep",
     "load_counterexample",
+    "partition_sweep",
     "model_from_graph",
     "model_from_trace",
     "replay",

@@ -409,6 +409,415 @@ def _witness_inplace(
     rep.witness_ok = ok
 
 
+@dataclass
+class CutReport:
+    """One symbolic bipartition: split-brain obligations for a single cut."""
+
+    side_a: tuple[int, ...]
+    side_b: tuple[int, ...]
+    #: "a" | "b" | None — which side's proposal reaches quorum.
+    committer: Optional[str] = None
+    quorum_ok: bool = False
+    reconcile_ok: bool = False
+    ringwalk_ok: bool = False
+    #: Base states at which stale-epoch safety was re-checked.
+    states_checked: int = 0
+    stale_ok: bool = False
+    #: "partition-live" | "skipped"
+    witness: str = "skipped"
+    witness_ok: bool = True
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.quorum_ok
+            and self.reconcile_ok
+            and self.ringwalk_ok
+            and self.stale_ok
+            and self.witness_ok
+            and not self.issues
+        )
+
+
+@dataclass
+class PartitionSweepResult:
+    """The sweep verdict for one (collective, nranks, tree) configuration."""
+
+    schedule: str
+    collective: str
+    mode: str  # "in-place" | "restart"
+    nranks: int
+    tree: str
+    root: int
+    base: Exploration
+    cuts: list[CutReport] = field(default_factory=list)
+    complete: bool = True
+    elapsed: float = 0.0
+
+    @property
+    def triples(self) -> int:
+        """(collective, cut, state) combinations actually checked."""
+        return sum(c.states_checked for c in self.cuts)
+
+    @property
+    def witnessed(self) -> int:
+        return sum(1 for c in self.cuts if c.witness != "skipped")
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.complete
+            and self.base.ok
+            and bool(self.cuts)
+            and all(c.ok for c in self.cuts)
+        )
+
+    def verdict(self) -> str:
+        if not self.base.ok:
+            return f"BASE NOT SAFE: {self.base.verdict()}"
+        if not self.complete:
+            return "UNKNOWN (budget exhausted mid-sweep)"
+        bad = [
+            f"{list(c.side_a)}|{list(c.side_b)}"
+            for c in self.cuts if not c.ok
+        ]
+        if bad:
+            return f"PARTITION UNSAFE for cut(s) {bad[:4]}"
+        return (
+            f"PARTITION CERTIFIED ({self.mode}): {len(self.cuts)} cut(s) x "
+            f"{self.base.states_explored} state(s) = {self.triples} "
+            f"split points, {self.witnessed} live witness(es), all safe"
+        )
+
+
+def _bipartitions(nranks: int):
+    """Every nontrivial two-sided cut, rank 0 always on side A.
+
+    Fixing rank 0's side halves the enumeration without losing a cut
+    (sides are unordered): 2**(nranks-1) - 1 cuts.
+    """
+    for mask in range(1, 2 ** (nranks - 1)):
+        side_b = tuple(r for r in range(1, nranks) if mask & (1 << (r - 1)))
+        side_a = tuple(r for r in range(nranks) if r not in side_b)
+        yield side_a, side_b
+
+
+def _check_cut_agreement(
+    rep: CutReport, nranks: int
+) -> None:
+    """Obligations 1+2: at most one side commits; heal converges by epoch.
+
+    Steps the same pure functions the live service runs, once from each
+    side's vantage point: each side proposes the *other* side as failed
+    (that is exactly what its detector accrues during the cut) and runs
+    the quorum gate. Split-brain safety is the exclusivity of the commit;
+    heal-and-merge safety is both sides reconciling to one view.
+    """
+    from repro.recovery.membership import quorum_commit, reconcile_views
+
+    view0 = SurvivorView(0, frozenset(), tuple(range(nranks)))
+    a, b = rep.side_a, rep.side_b
+    commit_a = quorum_commit(view0, b, nranks)  # A writes off B
+    commit_b = quorum_commit(view0, a, nranks)  # B writes off A
+    if commit_a is not None and commit_b is not None:
+        rep.issues.append(
+            f"split brain: both sides committed epoch "
+            f"{commit_a.epoch}/{commit_b.epoch} for one cut"
+        )
+    expect_a = 2 * len(a) > nranks
+    expect_b = 2 * len(b) > nranks
+    if (commit_a is not None) != expect_a or (commit_b is not None) != expect_b:
+        rep.issues.append(
+            f"quorum gate wrong: |A|={len(a)} commit={commit_a is not None}, "
+            f"|B|={len(b)} commit={commit_b is not None}, n={nranks}"
+        )
+    rep.quorum_ok = not rep.issues
+    rep.committer = "a" if commit_a is not None else (
+        "b" if commit_b is not None else None
+    )
+    committed = commit_a if commit_a is not None else commit_b
+    if committed is not None:
+        # The parked side holds view0; the committed side holds epoch 1.
+        # Reconciliation must hand *both* sides the committed view,
+        # regardless of argument order (epoch precedence is symmetric).
+        merged_1 = reconcile_views(committed, view0)
+        merged_2 = reconcile_views(view0, committed)
+        rep.reconcile_ok = merged_1 == committed and merged_2 == committed
+        if not rep.reconcile_ok:
+            rep.issues.append(
+                f"heal reconciliation lost the committed epoch: "
+                f"{merged_1.describe()} / {merged_2.describe()}"
+            )
+        # Obligation: the committing side's ring walk (its members only
+        # responsive) proposes exactly the other side — agreement-as-
+        # detection must not write off any member of the quorum side.
+        survivors = a if rep.committer == "a" else b
+        lost = b if rep.committer == "a" else a
+        walked = ring_walk(
+            view0.members,
+            merge_suspicions(view0.failed, lost),
+            survivors,
+        )
+        rep.ringwalk_ok = walked == frozenset(lost)
+        if not rep.ringwalk_ok:
+            rep.issues.append(
+                f"ring walk wrote off {sorted(walked)} != cut side "
+                f"{sorted(lost)}"
+            )
+    else:
+        # Even split: neither side commits, both keep view0 — reconciling
+        # two identical epoch-0 views is trivially that view, and no ring
+        # walk ever ran to completion (the quorum gate parked it).
+        rep.reconcile_ok = (
+            reconcile_views(view0, view0) == view0
+        )
+        rep.ringwalk_ok = True
+        if not rep.reconcile_ok:
+            rep.issues.append("even-split reconcile mutated the parked view")
+
+
+def _check_stale_cut(
+    model: ScheduleModel, base: Exploration, lost: tuple[int, ...],
+    mode: str, tag_floor: int,
+) -> tuple[int, bool, list[str]]:
+    """Obligation 3 at every base state, with the whole cut side written off.
+
+    Restart collectives: tag disjointness (identical to the kill sweep —
+    the floor does not depend on who died). In-place collectives: every
+    in-flight message from *any* written-off rank must carry that rank as
+    its wire source, so post-commit arrivals from across a healed cut are
+    attributable and droppable.
+    """
+    if mode == "restart":
+        return _check_stale_restart(model, base, tag_floor)
+    issues: list[str] = []
+    for r in model.recvs:
+        if r.peer is None:
+            issues.append(f"wildcard recv breaks attributability: {r.label}")
+    checked = 0
+    lost_set = set(lost)
+    from repro.verify.checker import _closure
+
+    for state in base.states:
+        checked += 1
+        posted, _ = _closure(model, state)
+        for op in model.sends:
+            if op.rank not in lost_set:
+                continue
+            if op.oid in posted and op.oid not in state \
+                    and op.key[0] != op.rank:
+                issues.append(
+                    f"in-flight cut-side message not attributable: {op.label}"
+                )
+        if len(issues) > 8:
+            break
+    return checked, not issues, issues
+
+
+def _witness_partition(
+    rep: CutReport,
+    collective: str,
+    nranks: int,
+    tree: str,
+    nbytes: int,
+    segment_size: int,
+    root: int,
+) -> None:
+    """Obligation 4, live: drive a real partitioned run through the stack.
+
+    A heal-after-deadline partition over the full recovery stack
+    (``launch_recover`` + membership + adaptive detector): the quorum side
+    must commit exactly one epoch naming the cut side, every quorum-side
+    rank must complete or be excused, and the healed stragglers must be
+    evicted — never re-admitted into the committed epoch. For an even
+    split the obligations invert: *no* epoch may commit (the round parks
+    awaiting quorum), and after the heal everyone completes clean.
+    """
+    from repro.analysis.schedules import TREES, recording_world
+    from repro.collectives.base import CollectiveContext
+    from repro.config import CollectiveConfig
+    from repro.faults import FaultInjector
+    from repro.faults.plan import FaultPlan, PartitionSpec
+    from repro.mpi.communicator import Communicator
+    from repro.recovery import launch_recover
+
+    rep.witness = "partition-live"
+    world = recording_world(nranks)
+    comm = Communicator(world)
+    shape = TREES[tree](nranks).reroot_relabelled(root)
+    ctx = CollectiveContext(
+        comm, root, nbytes, CollectiveConfig(segment_size=segment_size),
+        tree=shape,
+    )
+    # Heal far beyond the detection deadline (phi crossing + confirm is
+    # ~20 periods); the post-deadline path must behave as a kill.
+    plan = FaultPlan(partitions=(
+        PartitionSpec(groups=(rep.side_a, rep.side_b), start=1e-4, heal=0.2),
+    ))
+    handle = launch_recover(collective, ctx)
+    injector = FaultInjector(world, plan)
+    horizon = 0.05
+    while world.engine.now < 0.3:
+        injector.arm(horizon)
+        t = world.engine.now + horizon
+        world.run(until=t)
+        if world.engine.now < t:
+            break  # quiesced early
+        horizon = min(horizon * 2, 0.2)
+    world.run()
+
+    even = 2 * len(rep.side_a) == nranks
+    quorum_side = rep.side_a if 2 * len(rep.side_a) > nranks else rep.side_b
+    lost_side = rep.side_b if quorum_side == rep.side_a else rep.side_a
+    svc = world.membership
+    ok = True
+    if even:
+        if svc is not None and svc.view.epoch != 0:
+            ok = False
+            rep.issues.append(
+                f"even split committed epoch {svc.view.epoch}: "
+                f"{svc.view.describe()}"
+            )
+        missing = [
+            r for r in range(nranks)
+            if r not in handle.done_time and r not in handle.excused
+        ]
+        if missing:
+            ok = False
+            rep.issues.append(
+                f"rank(s) {missing} never completed after even-split heal"
+            )
+    else:
+        if svc is None or svc.view.epoch == 0:
+            ok = False
+            rep.issues.append("quorum side never committed an epoch")
+        elif svc.view.failed != frozenset(lost_side):
+            ok = False
+            rep.issues.append(
+                f"committed failed set {sorted(svc.view.failed)} != cut "
+                f"side {sorted(lost_side)}"
+            )
+        elif set(svc.view.members) & set(lost_side):
+            ok = False
+            rep.issues.append("cut-side rank re-admitted into the epoch")
+        missing = [
+            r for r in quorum_side
+            if r not in handle.done_time and r not in handle.excused
+        ]
+        if missing:
+            ok = False
+            rep.issues.append(
+                f"quorum-side rank(s) {missing} never completed or excused"
+            )
+        still_live = [r for r in lost_side if r not in world.failed_ranks]
+        if still_live:
+            ok = False
+            rep.issues.append(
+                f"healed straggler(s) {still_live} not evicted "
+                f"(kill-path fall-through broken)"
+            )
+    rep.witness_ok = ok
+
+
+def partition_sweep(
+    schedule: str,
+    nranks: int = 6,
+    tree: str = "binary",
+    nbytes: int = 64 * 1024,
+    segment_size: int = 16 * 1024,
+    root: int = 0,
+    max_states: int = 200_000,
+    budget_seconds: Optional[float] = None,
+    witness: bool = True,
+) -> PartitionSweepResult:
+    """Certify split-brain safety of one ADAPT collective under partitions.
+
+    Enumerates every nontrivial bipartition of the ranks (``2**(n-1) - 1``
+    cuts) and, per cut, steps the pure membership transition functions from
+    both sides' vantage points: **no cut may yield two committed views for
+    one epoch** (the quorum gate's exclusivity), heal-time reconciliation
+    must converge both sides onto the committed view (epoch precedence),
+    the committing side's ring walk must write off exactly the cut side,
+    and in-flight cross-cut traffic must be stale-safe at every explored
+    base state (tag disjointness / source attributability, as in the kill
+    sweep). ``witness=True`` additionally drives a live heal-after-deadline
+    run through the full stack for each cut along the root's contiguous
+    prefix family (one cut per minority size, plus the even split) and
+    checks the committed epoch, survivor completion, and straggler
+    eviction on the real timeline.
+    """
+    t0 = time.monotonic()
+    spec = VERIFY_MODELS.get(schedule)
+    if spec is None or spec.family != "adapt" or spec.recovery is None:
+        raise ValueError(
+            f"partition-sweep needs an ADAPT collective with a declared "
+            f"recovery mode; {schedule!r} is not one"
+        )
+    assert spec.collective is not None
+    model = build_model(
+        schedule, nranks=nranks, tree=tree, nbytes=nbytes,
+        segment_size=segment_size, root=root,
+    )
+    base = explore(
+        model, max_states=max_states, budget_seconds=budget_seconds,
+        keep_states=True,
+    )
+    result = PartitionSweepResult(
+        schedule=schedule,
+        collective=spec.collective,
+        mode=spec.recovery,
+        nranks=nranks,
+        tree=tree,
+        root=root,
+        base=base,
+    )
+    if not base.ok:
+        result.elapsed = time.monotonic() - t0
+        return result
+    tag_floor = _base_max_tag(model) + 1
+    # The live-witness family: contiguous prefix cuts {0..k} | {k+1..n-1}
+    # with the root inside the (weak) majority prefix — one witness per
+    # minority size, the even split included. Root-in-minority cuts stay
+    # symbolic (a bcast whose quorum side lost the root has no completion
+    # to witness; the kill sweep already excludes root victims for the
+    # same reason).
+    witness_cuts = set()
+    if witness:
+        for k in range((nranks - 1) // 2, nranks - 1):
+            witness_cuts.add(tuple(range(k + 1, nranks)))
+    for side_a, side_b in _bipartitions(nranks):
+        if budget_seconds is not None \
+                and time.monotonic() - t0 > budget_seconds:
+            result.complete = False
+            break
+        rep = CutReport(side_a=side_a, side_b=side_b)
+        _check_cut_agreement(rep, nranks)
+        lost = ()
+        if rep.committer == "a":
+            lost = side_b
+        elif rep.committer == "b":
+            lost = side_a
+        if lost:
+            rep.states_checked, rep.stale_ok, stale_issues = _check_stale_cut(
+                model, base, lost, spec.recovery, tag_floor
+            )
+            rep.issues.extend(stale_issues)
+        else:
+            # Even split: nothing is written off, so there is no stale
+            # epoch to guard against — count the states as trivially safe.
+            rep.states_checked = base.states_explored
+            rep.stale_ok = True
+        if side_b in witness_cuts and root in side_a:
+            _witness_partition(
+                rep, spec.collective, nranks, tree, nbytes,
+                segment_size, root,
+            )
+        result.cuts.append(rep)
+    result.elapsed = time.monotonic() - t0
+    return result
+
+
 def kill_sweep(
     schedule: str,
     nranks: int = 6,

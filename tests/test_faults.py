@@ -31,11 +31,13 @@ from repro.collectives import (
 from repro.collectives.base import CollectiveContext
 from repro.config import CollectiveConfig, RuntimeConfig
 from repro.faults import (
+    FailureDetector,
     FaultInjector,
     FaultPlan,
     FlapSpec,
     KillSpec,
     LossSpec,
+    PartitionSpec,
     StallSpec,
 )
 from repro.machine import small_test_machine
@@ -481,3 +483,307 @@ class TestDegradedFabric:
         assert handle.done
         assert injector.stalls_done == 1
         assert handle.elapsed() > clean
+
+
+# -- partition plans ----------------------------------------------------------
+
+
+MAJORITY = tuple(range(16))
+MINORITY = tuple(range(16, 24))
+
+
+class TestPartitionPlanValidation:
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(groups=((0, 1, 2),), start=0.0, heal=1.0)
+
+    def test_groups_nonempty(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(groups=((0, 1), ()), start=0.0, heal=1.0)
+
+    def test_groups_disjoint(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            PartitionSpec(groups=((0, 1, 2), (2, 3)), start=0.0, heal=1.0)
+
+    def test_heal_after_start(self):
+        with pytest.raises(ValueError, match="heal"):
+            PartitionSpec(groups=((0,), (1,)), start=1e-3, heal=1e-3)
+
+    def test_start_nonnegative(self):
+        with pytest.raises(ValueError, match="start"):
+            PartitionSpec(groups=((0,), (1,)), start=-1e-3, heal=1e-3)
+
+    def test_injector_requires_world_coverage(self):
+        world = make_world()
+        spec = PartitionSpec(groups=((0, 1), (2, 3)), start=0.0, heal=1e-3)
+        with pytest.raises(ValueError, match="cover"):
+            FaultInjector(world, FaultPlan(partitions=[spec]))
+
+    def test_phi_parameters_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(phi_threshold=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(heartbeat_period=-1.0)
+
+    def test_plan_from_dict_roundtrips_partitions(self):
+        import dataclasses
+
+        from repro.faults.plan import plan_from_dict
+
+        plan = FaultPlan(
+            partitions=[
+                PartitionSpec(groups=(MAJORITY, MINORITY), start=1e-4,
+                              heal=2e-3)
+            ],
+            phi_threshold=6.0, heartbeat_period=5e-4, adaptive=True,
+        )
+        rebuilt = plan_from_dict(dataclasses.asdict(plan))
+        assert rebuilt == plan
+        assert rebuilt.partitions[0].severs(0, 20)
+        assert not rebuilt.partitions[0].severs(16, 23)
+
+
+# -- adaptive detector: suspect / confirm / retract ---------------------------
+
+
+class TestAdaptiveDetector:
+    def _world_and_detector(self, detect=1e-3):
+        world = make_world(8)
+        return world, FailureDetector(world, detect_delay=detect)
+
+    def test_suspect_confirms_only_after_delay(self):
+        # Regression: suspect() must route through the delayed confirm path,
+        # not declare the failure synchronously.
+        world, det = self._world_and_detector()
+        det.suspect(3, reason="ack-timeout")
+        assert 3 in det.suspected
+        assert 3 not in det.failed, "confirmed with no detect_delay elapsed"
+        world.run()
+        assert 3 in det.failed
+        assert world.engine.now >= 1e-3
+
+    def test_suspect_dedups_per_rank(self):
+        # Regression: re-suspecting must not stack confirm timers or
+        # duplicate suspicion records.
+        world, det = self._world_and_detector()
+        det.suspect(3, reason="ack-timeout")
+        det.suspect(3, reason="ack-timeout")
+        det.suspect(3, reason="phi")
+        assert len(det.suspicions) == 1
+        assert len(det._confirm_timers) == 1
+        world.run()
+        assert 3 in det.failed
+        det.suspect(3)  # already failed: a no-op, not a new suspicion
+        assert len(det.suspicions) == 1
+
+    def test_evidence_in_window_retracts_before_confirm(self):
+        world, det = self._world_and_detector()
+        seen_failed, seen_alive = [], []
+        det.subscribe(seen_failed.append, alive_fn=seen_alive.append)
+        det.suspect(3)
+        world.engine.call_after(5e-4, det.observe_alive, 3)
+        world.run()
+        assert 3 not in det.failed and 3 not in det.suspected
+        assert det.false_kills == 0, "a retracted suspicion is not a kill"
+        assert 3 not in det.ever_confirmed
+        assert seen_failed == []
+        assert seen_alive == [3]
+        assert [r for _, r in det.retractions] == [3]
+
+    def test_retraction_after_confirm_counts_false_kill(self):
+        world, det = self._world_and_detector(detect=1e-4)
+        seen_failed, seen_alive = [], []
+        det.subscribe(seen_failed.append, alive_fn=seen_alive.append)
+        det.suspect(3)
+        world.engine.call_after(2e-3, det.observe_alive, 3)
+        world.run()
+        assert seen_failed == [3], "the confirm never fanned out"
+        assert seen_alive == [3], "the retraction never fanned out"
+        assert 3 not in det.failed
+        assert det.false_kills == 1
+        # The drain excuse never shrinks: survivors abandoned work while
+        # the confirmation stood.
+        assert 3 in det.ever_confirmed
+
+    def test_fresh_heartbeats_overrule_ack_suspicion(self):
+        # Asymmetric reachability: the observer hears the peer's beats, so
+        # an exhausted sender's suspect() must be a no-op.
+        world, det = self._world_and_detector()
+        det._hb_until = 1.0
+        det.observe_alive(3, heartbeat=True)
+        det.suspect(3, reason="ack-timeout")
+        assert 3 not in det.suspected
+        assert det.suspicions == []
+
+    def test_phi_grows_with_silence(self):
+        world, det = self._world_and_detector()
+        det._hb_until = 1.0
+        det.observe_alive(3, heartbeat=True)
+        assert det.suspect_level(3) == 0.0
+        world.engine.call_after(5e-3, lambda: None)
+        world.run()
+        assert det.suspect_level(3) > 1.0
+
+
+# -- partitions end-to-end ----------------------------------------------------
+
+
+def partition_plan(start, heal, **kw):
+    return FaultPlan(
+        partitions=[PartitionSpec(groups=(MAJORITY, MINORITY), start=start,
+                                  heal=heal)],
+        **kw,
+    )
+
+
+class TestPartitionSeverance:
+    def test_heal_before_deadline_is_absorbed(self):
+        # Cut mid-broadcast, heal well inside the ~19.4ms detection
+        # deadline: parked sends resume, nobody is ever confirmed failed,
+        # and every rank gets exact bytes on the original tree.
+        world = make_world(reliable=True)
+        handle, data, _ = launch_bcast(world)
+        injector = run_with_faults(
+            world, partition_plan(start=5e-5, heal=4e-3), horizon=0.05
+        )
+        assert handle.done
+        det = world.failure_detector
+        assert det.failed == set() and det.ever_confirmed == set()
+        assert det.false_kills == 0
+        assert injector.partitions_done == 1 and injector.heals_done == 1
+        assert injector.severed + injector.severed_control > 0, (
+            "the cut never severed anything"
+        )
+        assert not handle.report.degraded
+        assert handle.elapsed() >= 4e-3  # the minority waited out the cut
+        for r in range(world.nranks):
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"rank {r} bytes wrong after heal",
+            )
+
+    def test_heal_after_deadline_falls_through_to_kill_path(self):
+        from repro.recovery import launch_recover
+        from repro.trees import topology_aware_tree as _tree
+
+        world = make_world(reliable=True)
+        comm = Communicator(world)
+        data = bcast_payload(NBYTES)
+        ctx = CollectiveContext(
+            comm, 0, NBYTES, SMALL_CONFIG,
+            tree=_tree(world.topology, list(comm.ranks), 0), data=data,
+        )
+        handle = launch_recover("bcast", ctx)
+        injector = run_with_faults(
+            world, partition_plan(start=5e-5, heal=0.03), horizon=0.06
+        )
+        assert handle.done
+        det = world.failure_detector
+        membership = world.membership
+        # The quorum side committed an epoch excluding the minority...
+        assert membership.view.epoch >= 1
+        assert membership.view.failed == frozenset(MINORITY)
+        # ...and the healed stragglers were evicted, not re-admitted: a
+        # heal past the deadline is literally the kill path.
+        assert set(MINORITY) <= world.failed_ranks
+        assert det.false_kills == len(MINORITY)
+        assert any(kind == "evict" for _, kind, _ in membership.timeline)
+        assert injector.severed + injector.severed_control > 0
+        assert handle.report.degraded
+        for r in MAJORITY:
+            np.testing.assert_array_equal(
+                np.asarray(handle.output[r]).view(np.uint8), data,
+                err_msg=f"survivor {r} bytes wrong",
+            )
+
+    def test_minority_observer_parks_without_quorum(self):
+        # The observer (rank 0) lands on the minority side: it confirms the
+        # silent majority but its agreement round must park in
+        # awaiting-quorum instead of committing a split-brain view.
+        from repro.recovery import launch_recover
+        from repro.trees import topology_aware_tree as _tree
+
+        world = make_world(reliable=True)
+        comm = Communicator(world)
+        data = bcast_payload(NBYTES)
+        ctx = CollectiveContext(
+            comm, 0, NBYTES, SMALL_CONFIG,
+            tree=_tree(world.topology, list(comm.ranks), 0), data=data,
+        )
+        handle = launch_recover("bcast", ctx)
+        plan = FaultPlan(
+            partitions=[
+                PartitionSpec(groups=(tuple(range(8)), tuple(range(8, 24))),
+                              start=5e-5, heal=0.03)
+            ]
+        )
+        run_with_faults(world, plan, horizon=0.06)
+        membership = world.membership
+        assert membership.quorum_parks >= 1, "the gate never engaged"
+        assert membership.view.epoch == 0, "a minority committed an epoch"
+        assert world.failed_ranks == set(), "someone was wrongly evicted"
+        assert handle.done
+
+    def test_conservation_accounts_for_severed(self):
+        # Satellite of the sanitizer check: severed != leaked. Restated
+        # explicitly (like test_conservation_counters_balance) so a
+        # regression names the broken counter.
+        world = make_world(reliable=True)
+        handle, _, _ = launch_bcast(world)
+        plan = partition_plan(start=5e-5, heal=4e-3,
+                              losses=[LossSpec(drop=0.02)], seed=6)
+        injector = run_with_faults(world, plan, horizon=0.05)
+        assert handle.done
+        stats = world.transport_stats()
+        assert injector.severed > 0, "no data-plane launch was ever severed"
+        assert stats["transmissions"] + injector.duplicated == (
+            stats["fresh_deliveries"]
+            + stats["duplicates_suppressed"]
+            + stats["msgs_lost_dead"]
+            + injector.dropped
+            + injector.severed
+            + stats["checksum_rejects"]
+        )
+
+    def test_partition_timeline_deterministic(self):
+        def run_once():
+            world = make_world(reliable=True)
+            handle, _, _ = launch_bcast(world)
+            injector = run_with_faults(
+                world, partition_plan(start=5e-5, heal=4e-3, seed=11),
+                horizon=0.05,
+            )
+            assert handle.done
+            return injector.timeline, world.transport_stats()
+
+        assert run_once() == run_once()
+
+
+class TestQuorumFunctions:
+    def test_majority_commits_minority_parks(self):
+        from repro.recovery.membership import (
+            SurvivorView,
+            has_quorum,
+            quorum_commit,
+        )
+
+        view = SurvivorView(epoch=0, failed=frozenset(),
+                            members=tuple(range(24)))
+        assert has_quorum(MINORITY, 24)  # 16 survivors: majority
+        assert not has_quorum(MAJORITY, 24)  # 8 survivors: minority
+        assert not has_quorum(range(12), 24)  # even split: nobody commits
+        committed = quorum_commit(view, MINORITY, 24)
+        assert committed is not None and committed.epoch == 1
+        assert committed.failed == frozenset(MINORITY)
+        assert quorum_commit(view, MAJORITY, 24) is None
+        assert quorum_commit(view, range(12), 24) is None
+
+    def test_reconcile_is_epoch_precedence(self):
+        from repro.recovery.membership import SurvivorView, reconcile_views
+
+        old = SurvivorView(epoch=0, failed=frozenset(),
+                           members=tuple(range(24)))
+        new = SurvivorView(epoch=1, failed=frozenset(MINORITY),
+                           members=MAJORITY)
+        assert reconcile_views(old, new) is new
+        assert reconcile_views(new, old) is new

@@ -403,6 +403,104 @@ def test_recovery_fuzz_case(fuzz_seed, idx):
         assert stats.get("checksum_rejects", 0) == stats.get("nacks_sent", 0)
 
 
+# -- stall-only sweep: no false kills ----------------------------------------
+#
+# The adaptive detector's core promise (DESIGN.md S22): a slow rank is not a
+# dead rank. Every collective runs with heartbeats armed and one rank stalled
+# for up to 14 ms — safely below the ~18.4 ms phi crossing at the default
+# threshold — and the sweep demands completion with *zero* suspicions,
+# confirmations, or false kills.
+
+N_STALL_CASES = 27
+
+
+def make_stall_case(seed: int, idx: int) -> dict:
+    rng = random.Random((seed << 23) ^ (idx * 2246822519))
+    case = make_case(seed, idx)  # reuse the shape grid (same round-robin)
+    case["stall_rank"] = rng.randrange(case["nranks"])
+    case["stall_time"] = rng.uniform(5e-5, 4e-4)
+    case["stall_duration"] = rng.uniform(2e-3, 1.4e-2)
+    case["fault_seed"] = rng.randrange(2**31)
+    return case
+
+
+@pytest.mark.parametrize("idx", range(N_STALL_CASES))
+def test_stall_fuzz_zero_false_kills(fuzz_seed, idx):
+    from repro.faults import FaultInjector, FaultPlan, StallSpec
+
+    case = make_stall_case(fuzz_seed, idx)
+    algo = COLLECTIVES[case["collective"]][0]
+    world = MpiWorld(small_test_machine(), case["nranks"], carry_data=True,
+                     sanitize=True)
+    data = _payload(case)
+    handle = algo(_context(case, world, data))
+    plan = FaultPlan(
+        stalls=[StallSpec(rank=case["stall_rank"], time=case["stall_time"],
+                          duration=case["stall_duration"])],
+        adaptive=True,  # arm heartbeats with no partition in the plan
+        seed=case["fault_seed"],
+    )
+    FaultInjector(world, plan).arm(0.1)
+    world.run()
+    det = world.failure_detector
+    assert handle.done, f"stall case {idx} ({case}): incomplete schedule"
+    assert det.failed == set() and det.suspected == set(), (
+        f"stall case {idx}: a {case['stall_duration'] * 1e3:.1f} ms stall "
+        f"was mistaken for a death: {det.suspicions}"
+    )
+    assert det.ever_confirmed == set()
+    assert det.false_kills == 0
+    check_oracle(case, handle, data)
+
+
+# -- retraction ordering: alive after failed ---------------------------------
+#
+# A confirmed-then-retracted failure is the partition-tolerance ordering
+# every collective must survive: rank_failed fans out, survivors repair or
+# restart, then the "dead" rank acks again and rank_alive fans out. The
+# collective acknowledges without re-integrating; nothing may crash or hang.
+
+#: In-place repair keeps the original handle, so its per-rank states hear
+#: the retraction and record it; restart-mode collectives (the reduce
+#: family, gather) re-launch and the stale epoch's states never see it.
+_RETRACTION_RECORDERS = {"bcast", "scatter", "barrier", "alltoall"}
+
+
+@pytest.mark.parametrize("name", ORDER)
+def test_retraction_after_failed_tolerated(name):
+    from repro.config import RuntimeConfig
+    from repro.faults import FailureDetector
+    from repro.recovery import launch_recover
+
+    case = {
+        "collective": name, "nranks": 8, "root": 0, "nbytes": 4096,
+        "segment_size": 1024, "inflight_sends": 2, "posted_recvs": 3,
+        "tree": "binary", "op": "sum", "data_seed": 77,
+    }
+    victim = 5
+    world = MpiWorld(small_test_machine(), 8, carry_data=True,
+                     config=RuntimeConfig(reliable=False), sanitize=True)
+    data = _payload(case)
+    handle = launch_recover(name, _context(case, world, data))
+    det = FailureDetector(world, detect_delay=1e-4)
+    # Suspect mid-flight; the confirm fires 1e-4 later (no contrary
+    # evidence); the retraction lands well after the membership round.
+    world.engine.call_after(1e-4, det.suspect, victim)
+    world.engine.call_after(2.5e-3, det.observe_alive, victim)
+    world.run()
+    assert handle.done, f"{name}: survivors never completed"
+    assert victim in det.ever_confirmed, f"{name}: the confirm never fired"
+    assert victim not in det.failed, f"{name}: the retraction never fired"
+    assert det.false_kills == 1
+    # The committed epoch stands: retraction does not re-admit.
+    assert world.membership.view.epoch >= 1
+    assert victim in world.membership.view.failed
+    if name in _RETRACTION_RECORDERS:
+        assert victim in handle.report.retractions, (
+            f"{name}: the collective never acknowledged the rank_alive"
+        )
+
+
 class TestSweepDeterminism:
     def test_cases_reproducible_from_seed(self):
         a = [make_case(1234, i) for i in range(N_CASES)]
