@@ -11,6 +11,7 @@ identity but not concurrency.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -19,6 +20,10 @@ import pytest
 from repro.harness import bench as core_bench
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The committed baseline at the repo root (``repro bench --json``); the
+#: regression gate below compares fresh engine throughput against it.
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_core.json"
 
 #: Worker count for the fig09 parallel leg; 2 keeps the process pool
 #: exercised without oversubscribing small CI runners.
@@ -40,6 +45,32 @@ def test_engine_throughput(core):
     # Loose sanity floor: even slow shared runners process far more than
     # 10k events/sec; a failure here means the engine loop regressed badly.
     assert eng["events_per_sec"] > 10_000, eng
+
+
+def test_engine_no_regression_vs_baseline(core):
+    """Perf-regression gate: fresh engine events/sec must stay within 30%
+    of the committed BENCH_core.json baseline. Skipped on tiny runners
+    (same convention as the parallel-speedup gate): absolute throughput on
+    an oversubscribed 1-2 core container tells us nothing about the code.
+    """
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("perf-regression gate needs >= 4 physical cores")
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_core.json baseline at repo root")
+    baseline = json.loads(BASELINE_PATH.read_text())["engine"]
+    fresh = core["engine"]
+    for leg, base_eps, fresh_eps in [
+        ("epoch", baseline["events_per_sec"], fresh["events_per_sec"]),
+        (
+            "chain",
+            baseline["chain"]["events_per_sec"],
+            fresh["chain"]["events_per_sec"],
+        ),
+    ]:
+        assert fresh_eps >= 0.7 * base_eps, (
+            f"{leg} regime regressed >30%: {fresh_eps:,} events/sec vs "
+            f"baseline {base_eps:,}"
+        )
 
 
 def test_allocator_beats_reference(core):

@@ -161,10 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         "cells/sec; --json writes the BENCH_core.json artifact. "
         "Benchmarks never use the result cache.",
     )
-    pbench.add_argument("--scale", default=None,
-                        choices=["small", "medium", "paper"],
-                        help="bench sizing (default: $REPRO_BENCH_SCALE "
-                        "or small)")
+    pbench.add_argument("--scale", nargs="?", const="ranks", default=None,
+                        metavar="SIZING|RANKS",
+                        help="small/medium/paper: bench sizing (default: "
+                        "$REPRO_BENCH_SCALE or small). Bare --scale adds "
+                        "the rank-count scaling leg (ADAPT bcast/allreduce "
+                        "at 1024/4096/16384 ranks); a comma-separated rank "
+                        "list (e.g. 1024,4096) picks the world sizes")
     pbench.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="also time the fig09 sweep through N worker "
                         "processes and record the speedup")
@@ -173,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write results as JSON (default PATH: "
                         "BENCH_core.json)")
     pbench.add_argument("--section", action="append", default=None,
-                        choices=["engine", "allocator", "fig09"],
+                        choices=["engine", "allocator", "fig09", "scale"],
                         help="run only these sections (repeatable)")
 
     pprof = sub.add_parser(
@@ -479,8 +482,32 @@ def _cmd_run(args) -> str:
 def _cmd_bench(args) -> str:
     from repro.harness import bench
 
+    # --scale is overloaded: sizing names keep their original meaning, a
+    # bare --scale (or a comma-separated rank list) opts into the rank-count
+    # scaling leg on top of whatever sections run.
+    sizing = None
+    scale_ranks = bench.SCALE_RANKS
+    want_scale = False
+    if args.scale is not None:
+        if args.scale in ("small", "medium", "paper"):
+            sizing = args.scale
+        elif args.scale == "ranks":
+            want_scale = True
+        else:
+            try:
+                scale_ranks = tuple(int(tok) for tok in args.scale.split(","))
+            except ValueError:
+                raise SystemExit(
+                    "--scale expects small/medium/paper, a comma-separated "
+                    f"rank list, or no value; got {args.scale!r}"
+                )
+            want_scale = True
     sections = tuple(args.section) if args.section else ("engine", "allocator", "fig09")
-    result = bench.run_core_bench(args.scale, args.jobs, sections=sections)
+    if want_scale and "scale" not in sections:
+        sections = sections + ("scale",)
+    result = bench.run_core_bench(
+        sizing, args.jobs, sections=sections, scale_ranks=scale_ranks
+    )
     out = bench.render(result)
     if args.json:
         bench.write_json(result, args.json)

@@ -14,6 +14,11 @@ Three subsystems, three throughput numbers:
   sequentially and (when ``--jobs`` > 1) through the process pool, with a
   byte-identity check between the two result lists.
 
+A fourth, opt-in leg (``repro bench --scale``) measures full ADAPT
+bcast/allreduce simulations at 1K/4K/16K ranks — engine events/sec over the
+wall clock plus allocator rounds/sec on a world-sized component — so the
+scaling story is recorded per rank count, not just on microbenchmarks.
+
 ``run_core_bench`` returns a plain dict; ``repro bench --json`` writes it
 as ``BENCH_core.json`` (the CI perf-smoke artifact).
 """
@@ -70,7 +75,7 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> float:
 # -- engine ----------------------------------------------------------------
 
 
-def _engine_workload(n_events: int) -> Engine:
+def _chain_workload(n_events: int) -> Engine:
     """Interleaved event chains plus a cancelled fraction.
 
     64 chains each reschedule themselves with slightly different periods, so
@@ -95,20 +100,72 @@ def _engine_workload(n_events: int) -> Engine:
     return eng
 
 
+#: Events per wave in the epoch workload — sized like a large collective's
+#: completion wave (one event per rank at 4K ranks).
+_EPOCH_WAVE = 4096
+
+
+def _epoch_workload(n_events: int) -> Engine:
+    """Waves of same-timestamp events — the epoch-draining design regime.
+
+    Deterministic collective models land whole completion waves on
+    bit-identical timestamps; each wave here is one ``post_batch`` (a single
+    heap touch) drained by one loop over its bucket (DESIGN.md §23).
+    """
+    eng = Engine()
+    nwaves = max(1, n_events // _EPOCH_WAVE)
+    sink = [0]
+
+    def evt() -> None:
+        sink[0] += 1
+
+    batch = [evt] * _EPOCH_WAVE
+    for wave in range(nwaves):
+        eng.post_batch((wave + 1) * 1e-6, batch)
+    eng.run()
+    return eng
+
+
 def bench_engine(scale: str) -> dict:
+    """Engine throughput in both regimes.
+
+    The headline ``events_per_sec`` is the epoch (wave) regime — the
+    workload shape the two-level schedule is built for and the one large
+    collective simulations present. The chain regime (scattered distinct
+    timestamps, heap traffic per event) is reported alongside so the cost
+    of epoch bookkeeping on unfavourable workloads stays visible.
+    """
     sizes = _SIZES[scale]
     n_events = sizes["events"]
+    repeats = sizes["repeats"]
+
     counts: list[int] = []
-    seconds = _best_of(
-        lambda: counts.append(_engine_workload(n_events).events_processed),
-        sizes["repeats"],
+    epoch_s = _best_of(
+        lambda: counts.append(_epoch_workload(n_events).events_processed),
+        repeats,
     )
-    processed = counts[0]  # deterministic workload: every pass is identical
+    epoch_events = counts[0]  # deterministic workload: every pass is identical
+
+    counts.clear()
+    chain_s = _best_of(
+        lambda: counts.append(_chain_workload(n_events).events_processed),
+        repeats,
+    )
+    chain_events = counts[0]
+
     return {
-        "workload": "64 interleaved chains, 1-in-8 cancelled decoys",
-        "events": processed,
-        "seconds": round(seconds, 6),
-        "events_per_sec": round(processed / seconds),
+        "workload": (
+            f"epoch: {_EPOCH_WAVE}-event same-timestamp waves; "
+            "chain: 64 interleaved chains, 1-in-8 cancelled decoys"
+        ),
+        "events": epoch_events,
+        "seconds": round(epoch_s, 6),
+        "events_per_sec": round(epoch_events / epoch_s),
+        "chain": {
+            "events": chain_events,
+            "seconds": round(chain_s, 6),
+            "events_per_sec": round(chain_events / chain_s),
+        },
     }
 
 
@@ -148,6 +205,73 @@ def bench_allocator(scale: str) -> dict:
         "reference_rounds_per_sec": round(calls / t_ref, 2),
         "speedup_vs_reference": round(t_ref / t_new, 3),
     }
+
+
+# -- rank-count scaling ----------------------------------------------------
+
+#: Default rank counts for the ``--scale`` leg (ISSUE: 1K/4K/16K).
+SCALE_RANKS = (1024, 4096, 16384)
+
+#: (operation, payload bytes) measured at each rank count. Bcast at 4 MiB is
+#: the paper's headline large-message case; allreduce at 1 MiB keeps the
+#: reduction pipeline in the measurement without doubling the wall time.
+SCALE_OPS = (("bcast", 4 << 20), ("allreduce", 1 << 20))
+
+
+def bench_scale(
+    ranks: tuple[int, ...] = SCALE_RANKS, preset: str = "cori"
+) -> dict:
+    """End-to-end collective simulations at increasing world sizes.
+
+    For each rank count: run ADAPT bcast/allreduce through the full harness
+    (``for_ranks`` grows the preset's node count at its native ranks-per-node
+    density) and report engine events/sec over the wall clock, plus max-min
+    allocation rounds/sec on a component sized to that world (the regime the
+    vectorized variant targets once past ``_VEC_THRESHOLD`` flows).
+
+    Single-shot walls, not best-of-N: a 16K-rank bcast is tens of seconds,
+    so repeating it would dominate the whole suite for ±10% noise that the
+    events/sec figure already averages over millions of events.
+    """
+    from repro.harness.runner import run_collective
+    from repro.machine import for_ranks
+
+    entries = []
+    for nranks in ranks:
+        spec = for_ranks(preset, nranks)
+        entry: dict[str, Any] = {
+            "ranks": nranks,
+            "nodes": spec.nodes,
+            "collectives": {},
+        }
+        for op, nbytes in SCALE_OPS:
+            t0 = time.perf_counter()
+            res = run_collective(
+                spec, nranks, "OMPI-adapt", op, nbytes=nbytes, iterations=1
+            )
+            wall = time.perf_counter() - t0
+            events = int(res.engine_stats.get("events_processed", 0))
+            entry["collectives"][op] = {
+                "nbytes": nbytes,
+                "wall_seconds": round(wall, 3),
+                "sim_time_ms": round(res.mean_time * 1e3, 6),
+                "events": events,
+                "events_per_sec": round(events / wall) if wall > 0 else 0,
+            }
+        nlinks = max(ALLOC_LINKS, nranks // 16)
+        flows, links = allocator_scenario(nflows=nranks, nlinks=nlinks, seed=7)
+        calls = 3
+        t_alloc = _best_of(
+            lambda: [maxmin_rates(flows, links) for _ in range(calls)], 2
+        )
+        entry["allocator"] = {
+            "flows": nranks,
+            "links": nlinks,
+            "calls": calls,
+            "rounds_per_sec": round(calls / t_alloc, 3),
+        }
+        entries.append(entry)
+    return {"preset": preset, "library": "OMPI-adapt", "entries": entries}
 
 
 # -- fig09 end-to-end ------------------------------------------------------
@@ -190,8 +314,13 @@ def run_core_bench(
     n_jobs: Optional[int] = None,
     *,
     sections: tuple[str, ...] = ("engine", "allocator", "fig09"),
+    scale_ranks: tuple[int, ...] = SCALE_RANKS,
 ) -> dict:
-    """Run the core benchmark suite; the returned dict is BENCH_core.json."""
+    """Run the core benchmark suite; the returned dict is BENCH_core.json.
+
+    Include ``"scale"`` in ``sections`` (CLI: ``repro bench --scale``) to
+    append the rank-count scaling leg at ``scale_ranks`` world sizes.
+    """
     scale = scale or default_scale()
     if scale not in _SIZES:
         raise ValueError(
@@ -210,6 +339,8 @@ def run_core_bench(
         out["allocator"] = bench_allocator(scale)
     if "fig09" in sections:
         out["fig09"] = bench_fig09(scale, n_jobs)
+    if "scale" in sections:
+        out["scale_ranks"] = bench_scale(scale_ranks)
     return out
 
 
@@ -224,8 +355,15 @@ def render(result: dict) -> str:
     if eng:
         lines.append(
             f"engine      {eng['events_per_sec']:>12,} events/sec   "
-            f"({eng['events']:,} events in {eng['seconds']:.3f}s)"
+            f"({eng['events']:,} events in {eng['seconds']:.3f}s, epoch waves)"
         )
+        chain = eng.get("chain")
+        if chain:
+            lines.append(
+                f"            {chain['events_per_sec']:>12,} events/sec   "
+                f"({chain['events']:,} events in {chain['seconds']:.3f}s, "
+                f"mixed chains)"
+            )
     alloc = result.get("allocator")
     if alloc:
         lines.append(
@@ -233,6 +371,22 @@ def render(result: dict) -> str:
             f"(reference {alloc['reference_rounds_per_sec']:,.1f}; "
             f"speedup {alloc['speedup_vs_reference']:.2f}x)"
         )
+    sc = result.get("scale_ranks")
+    if sc:
+        for entry in sc["entries"]:
+            for op, cell in entry["collectives"].items():
+                lines.append(
+                    f"scale {entry['ranks']:>6,} ranks  {op:<9} "
+                    f"{cell['events_per_sec']:>10,} events/sec   "
+                    f"({cell['events']:,} events in {cell['wall_seconds']:.1f}s"
+                    f", sim {cell['sim_time_ms']:.3f}ms)"
+                )
+            alloc = entry["allocator"]
+            lines.append(
+                f"scale {entry['ranks']:>6,} ranks  allocator "
+                f"{alloc['rounds_per_sec']:>10,.2f} rounds/sec   "
+                f"({alloc['flows']:,} flows over {alloc['links']} links)"
+            )
     fig = result.get("fig09")
     if fig:
         lines.append(

@@ -74,6 +74,9 @@ class RunResult:
     # how many membership rounds parked awaiting quorum.
     false_kills: int = 0
     quorum_parks: int = 0
+    # Engine counters at the end of the run (events processed, pending,
+    # cancelled-parked); the bench scale leg derives events/sec from these.
+    engine_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-able form (the parallel executor's wire/cache format)."""
@@ -96,6 +99,7 @@ class RunResult:
             "time_to_repair": self.time_to_repair,
             "false_kills": self.false_kills,
             "quorum_parks": self.quorum_parks,
+            "engine_stats": dict(self.engine_stats),
         }
 
     @classmethod
@@ -277,6 +281,7 @@ def run_collective(
     deadline = (world.engine.now + time_limit) if time_limit is not None else None
 
     def _finalize(handles) -> None:
+        result.engine_stats = world.engine.stats()
         if fault_plan is not None:
             result.transport = world.transport_stats()
             faults = world.fabric.faults

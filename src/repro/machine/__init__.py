@@ -15,7 +15,14 @@ from repro.machine.spec import (
     NodeSpec,
 )
 from repro.machine.topology import Placement, Topology
-from repro.machine.presets import cori, stampede2, psg_gpu, small_test_machine
+from repro.machine.presets import (
+    cori,
+    for_ranks,
+    ranks_per_node,
+    stampede2,
+    psg_gpu,
+    small_test_machine,
+)
 
 __all__ = [
     "CommLevel",
@@ -26,6 +33,8 @@ __all__ = [
     "Placement",
     "Topology",
     "cori",
+    "for_ranks",
+    "ranks_per_node",
     "stampede2",
     "psg_gpu",
     "small_test_machine",

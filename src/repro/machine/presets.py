@@ -63,6 +63,41 @@ def psg_gpu(nodes: int = 8) -> MachineSpec:
     )
 
 
+#: Preset factories addressable by name (the scale knob's lookup table).
+PRESETS = {
+    "cori": cori,
+    "stampede2": stampede2,
+    "psg": psg_gpu,
+}
+
+
+def ranks_per_node(name: str) -> int:
+    """Ranks one node of preset ``name`` contributes (cores, or GPUs when
+    the preset is GPU-bound)."""
+    spec = PRESETS[name]()
+    node = spec.node
+    if name == "psg":
+        return node.sockets * node.gpu.gpus_per_socket
+    return node.sockets * node.cores_per_socket
+
+
+def for_ranks(name: str, world_size: int) -> MachineSpec:
+    """The ``world_size``-driven scale knob (DESIGN.md §23): build preset
+    ``name`` with exactly enough nodes for ``world_size`` ranks.
+
+    ``repro bench --scale`` uses this to stand up 1K/4K/16K-rank clusters
+    from the same calibrated per-link parameters as the paper-sized runs —
+    node count is the only thing that varies with scale.
+    """
+    if name not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    per_node = ranks_per_node(name)
+    nodes = -(-world_size // per_node)  # ceil division
+    return PRESETS[name](nodes)
+
+
 def small_test_machine(
     nodes: int = 3,
     sockets: int = 2,

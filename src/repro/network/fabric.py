@@ -38,6 +38,11 @@ class MemSpace(enum.Enum):
     HOST = "host"
     GPU = "gpu"
 
+    # Members are singletons with identity equality, so identity hashing is
+    # equivalent — and C-speed, unlike Enum.__hash__, which shows up in
+    # profiles via the route/channel cache keys built around these members.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class Route:
@@ -378,7 +383,8 @@ class Fabric:
             return
         route = self.route(src, dst, MemSpace.HOST, MemSpace.HOST)
         delay = route.latency + nbytes / route.rate_cap
-        self.engine.call_after(delay, on_complete)
+        # Handle-free post: control deliveries are never cancelled.
+        self.engine.post_after(delay, on_complete)
 
     def _chain(self, key: tuple, on_complete: Callable[[Flow], None]):
         def done(flow: Flow) -> None:

@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Link:
     """One shared bandwidth resource."""
 
-    __slots__ = ("name", "capacity", "flows", "bytes_carried")
+    __slots__ = ("name", "capacity", "flows", "bytes_carried", "index")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
@@ -26,6 +26,9 @@ class Link:
         self.capacity = capacity
         self.flows: set["Flow"] = set()
         self.bytes_carried = 0.0  # lifetime accounting, for utilization reports
+        # Dense id in the owning network's array mirror / component index
+        # (DESIGN.md §23); assigned on first sight, None for standalone links.
+        self.index: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Link {self.name} cap={self.capacity / 1e9:.1f}GB/s n={len(self.flows)}>"

@@ -86,7 +86,9 @@ class Cpu:
             # A fail-stopped rank executes nothing; callers see time stand
             # still and completion callbacks simply never fire.
             return self._busy_until
-        start = self.available_at()
+        busy = self._busy_until
+        now = self.engine.now
+        start = busy if busy > now else now
         end = start + duration
         if self.obs is not None:
             # Shadow clock: same update as the real one, minus noise. Lag
@@ -105,8 +107,12 @@ class Cpu:
         self.work_items += 1
         if fn is not None:
             # Dispatch through the halt gate: work queued before a fail-stop
-            # whose completion lands after it must not run.
-            self.engine.call_at(end, self._dispatch, fn, args)
+            # whose completion lands after it must not run. Handle-free post:
+            # CPU completions are never cancelled, only halt-gated. (An
+            # inline fast path for zero-duration work on an idle CPU was
+            # tried and rejected: it reorders same-instant callbacks, which
+            # the schedule analysis reads as synchronization edges.)
+            self.engine.post_at(end, self._dispatch, fn, args)
         return end
 
     def _dispatch(self, fn: Callable[..., Any], args: tuple) -> None:

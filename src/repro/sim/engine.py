@@ -1,16 +1,40 @@
-"""Discrete-event engine.
+"""Discrete-event engine with epoch-based batch draining.
 
-A minimal, fast event scheduler: a binary heap of ``(time, seq, handle)``
-entries with lazy cancellation. All simulated time is in **seconds** (float).
-Determinism: events scheduled for the same instant fire in scheduling order
-(the monotonically increasing ``seq`` breaks ties), so a fixed seed yields an
-identical timeline on every run.
+The schedule is a two-level structure (DESIGN.md §23): a binary heap of
+*distinct timestamps* plus a bucket (list) of entries per timestamp. All
+events sharing an instant — an *epoch* — drain in one loop over their
+bucket, so the per-event cost at a crowded timestamp is a list append on
+the way in and one dispatch on the way out, with no heap traffic. Large
+collective simulations are exactly that regime: the deterministic Hockney
+model lands whole waves of completions on bit-identical timestamps.
+
+All simulated time is in **seconds** (float). Determinism: events scheduled
+for the same instant fire in scheduling order (buckets are append-only and
+drained front to back), so a fixed seed yields an identical timeline on
+every run — the exact tie-break rule of the earlier ``(time, seq)`` heap.
+
+Three entry kinds share a bucket, distinguished by ``type``:
+
+* ``list``  — ``[fn, args]``, a cancellable event backed by an
+  :class:`EventHandle` (``cancel`` blanks ``fn`` in place);
+* ``tuple`` — ``(fn, args)``, a fire-and-forget post with arguments;
+* anything else is a bare zero-argument callable (the cheapest kind —
+  :meth:`Engine.post_batch` extends a bucket with thousands of them in one
+  C-level call).
+
+Cancellation is lazy; a compaction pass rewrites the buckets in place when
+cancelled entries outnumber live ones (heavy flow rescheduling used to grow
+the old heap without bound).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
+
+#: Compaction trigger: at least this many cancelled entries *and* more
+#: cancelled than live. Small schedules never pay the rebuild.
+_COMPACT_MIN = 512
 
 
 class SimulationError(RuntimeError):
@@ -18,55 +42,91 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """Handle to a scheduled event; supports O(1) cancellation.
+    """Handle to a cancellable scheduled event; supports O(1) cancellation.
 
-    Cancellation is lazy: the heap entry stays in place and is discarded when
-    popped. ``fn`` is dropped on cancel so captured state can be collected.
+    Cancellation is lazy: the bucket entry stays in place (blanked) and is
+    discarded when its epoch drains or a compaction pass rewrites the
+    bucket. ``fn`` is dropped on cancel so captured state can be collected.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_entry", "_engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, engine: "Engine", time: float, seq: int, entry: list):
+        self._engine = engine
         self.time = time
         self.seq = seq
-        self.fn: Optional[Callable[..., Any]] = fn
-        self.args = args
+        self._entry = entry
         self.cancelled = False
+
+    @property
+    def fn(self) -> Optional[Callable[..., Any]]:
+        """The pending callback, or None once fired or cancelled."""
+        return self._entry[0]
+
+    @property
+    def args(self) -> tuple:
+        return self._entry[1]
 
     def cancel(self) -> None:
         """Cancel the event. Idempotent; safe after the event has fired."""
         self.cancelled = True
-        self.fn = None
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        entry = self._entry
+        if entry[0] is not None:
+            entry[0] = None
+            entry[1] = ()
+            engine = self._engine
+            engine._live -= 1
+            engine._cancelled += 1
+            if (
+                engine._cancelled > _COMPACT_MIN
+                and engine._cancelled > engine._live
+            ):
+                engine._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "cancelled" if self.cancelled else (
+            "pending" if self._entry[0] is not None else "fired"
+        )
         return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
 
 
 class Engine:
-    """Heap-based discrete-event scheduler.
+    """Epoch-draining discrete-event scheduler.
 
     Usage::
 
         eng = Engine()
         eng.call_at(1e-6, callback, arg)
         eng.run()
+
+    ``call_at``/``call_after`` return a cancellable :class:`EventHandle`;
+    ``post_at``/``post_after``/``post_batch`` are the handle-free fast path
+    for events that are never cancelled (completion dispatch, protocol
+    steps), skipping the handle allocation entirely.
     """
 
-    __slots__ = ("_heap", "_seq", "_now", "_running", "_events_processed")
+    __slots__ = (
+        "_times",
+        "_buckets",
+        "_seq",
+        "_now",
+        "_running",
+        "_events_processed",
+        "_live",
+        "_cancelled",
+    )
 
     def __init__(self) -> None:
-        # Heap of (time, seq, handle) tuples: tuple comparison runs in C,
-        # which matters at millions of events per run.
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        # Heap of bare floats (distinct scheduled timestamps; float
+        # comparison runs in C) + dict time -> bucket list of entries.
+        self._times: list[float] = []
+        self._buckets: dict[float, list] = {}
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._live = 0        # scheduled, not yet fired or cancelled
+        self._cancelled = 0   # cancelled entries still parked in buckets
 
     @property
     def now(self) -> float:
@@ -78,6 +138,8 @@ class Engine:
         """Number of events fired so far (cancelled events excluded)."""
         return self._events_processed
 
+    # -- scheduling ---------------------------------------------------------
+
     def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self._now:
@@ -85,9 +147,15 @@ class Engine:
                 f"cannot schedule event at t={time} before now={self._now}"
             )
         self._seq += 1
-        handle = EventHandle(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, handle))
-        return handle
+        entry = [fn, args]
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [entry]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(entry)
+        self._live += 1
+        return EventHandle(self, time, self._seq, entry)
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` seconds."""
@@ -95,17 +163,96 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         return self.call_at(self._now + delay, fn, *args)
 
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time`` with no cancellation handle.
+
+        The hot-path variant of :meth:`call_at`: no :class:`EventHandle` is
+        allocated, so the entry is a bare callable (no args) or one tuple.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        entry = (fn, args) if args else fn
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [entry]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(entry)
+        self._live += 1
+
+    def post_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Handle-free :meth:`call_after`."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.post_at(self._now + delay, fn, *args)
+
+    def post_batch(self, time: float, fns: Iterable[Callable[[], Any]]) -> None:
+        """Schedule many zero-argument callables at one instant.
+
+        One heap touch for the whole batch (the bucket is extended at C
+        speed); the callables fire in iteration order within the epoch.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            bucket = list(fns)
+            self._buckets[time] = bucket
+            heapq.heappush(self._times, time)
+            self._live += len(bucket)
+        else:
+            before = len(bucket)
+            bucket.extend(fns)
+            self._live += len(bucket) - before
+
+    # -- introspection ------------------------------------------------------
+
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1)."""
+        return self._live
 
     def stats(self) -> dict[str, float]:
         """Engine-level counters (the observability layer's engine hook)."""
         return {
             "now": self._now,
             "events_processed": float(self._events_processed),
-            "pending": float(self.pending()),
+            "pending": float(self._live),
+            "cancelled_parked": float(self._cancelled),
         }
+
+    # -- maintenance --------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and empty buckets; rebuild the time heap.
+
+        Mutates the existing containers in place (``run`` holds local
+        references to them). The bucket currently being drained was already
+        popped from the map, so the drain loop's iterator never shifts.
+        """
+        buckets = self._buckets
+        for t in list(buckets):
+            bucket = buckets[t]
+            live = [
+                e for e in bucket
+                if type(e) is not list or e[0] is not None
+            ]
+            if live:
+                if len(live) != len(bucket):
+                    bucket[:] = live
+            else:
+                del buckets[t]
+        self._times[:] = buckets.keys()
+        heapq.heapify(self._times)
+        # Cancelled entries parked in a bucket being drained right now (if
+        # any) were not collected; the drain loop's clamped decrement makes
+        # the counter self-correct as they vanish with their epoch.
+        self._cancelled = 0
+
+    # -- execution ----------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event queue drains, ``until`` is reached, or
@@ -113,38 +260,128 @@ class Engine:
         if self._running:
             raise SimulationError("engine already running (reentrant run())")
         self._running = True
-        fired = 0
-        # Hot loop: locals avoid repeated attribute/global lookups. The heap
-        # list object is stable (callbacks push onto it, never rebind it).
-        heap = self._heap
-        heappop = heapq.heappop
         try:
-            while heap:
-                head_time, _, handle = heap[0]
-                if handle.cancelled:
-                    heappop(heap)
-                    continue
-                if until is not None and head_time > until:
-                    self._now = until
-                    break
-                heappop(heap)
-                self._now = head_time
-                fn = handle.fn
-                args = handle.args
-                handle.fn = None  # release references
-                handle.args = ()
-                assert fn is not None
-                fn(*args)
-                self._events_processed += 1
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    break
+            if max_events is None:
+                self._run_fast(until)
             else:
-                if until is not None:
-                    self._now = max(self._now, until)
+                self._run_counted(until, max_events)
         finally:
             self._running = False
         return self._now
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        # Hot loop: locals avoid repeated attribute/global lookups; the
+        # container objects are stable (compaction mutates them in place).
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        pop_bucket = self._buckets.pop
+        tup = tuple
+        lst = list
+        processed = 0
+        try:
+            while times:
+                t = times[0]
+                if until is not None and t > until:
+                    self._now = until
+                    return
+                heappop(times)
+                bucket = pop_bucket(t, None)
+                if bucket is None:
+                    continue  # stale heap entry left behind by _compact
+                self._now = t
+                # Epoch drain: everything at this instant in one loop. An
+                # event scheduled *at* now mid-drain lands in a fresh bucket
+                # for the same timestamp and drains immediately after — the
+                # scheduling-order tie-break of the old (time, seq) heap.
+                for e in bucket:
+                    kind = type(e)
+                    if kind is tup:
+                        e[0](*e[1])
+                        processed += 1
+                    elif kind is lst:
+                        fn = e[0]
+                        if fn is None:
+                            # Lazily-cancelled entry vanishing with its epoch.
+                            if self._cancelled > 0:
+                                self._cancelled -= 1
+                            continue
+                        e[0] = None
+                        args = e[1]
+                        e[1] = ()
+                        fn(*args)
+                        processed += 1
+                    else:
+                        e()
+                        processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._events_processed += processed
+            self._live -= processed
+
+    def _run_counted(self, until: Optional[float], max_events: int) -> None:
+        """The bounded variant: may stop mid-epoch and resume later."""
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        tup = tuple
+        lst = list
+        fired = 0
+        try:
+            while times and fired < max_events:
+                t = times[0]
+                if until is not None and t > until:
+                    self._now = until
+                    return
+                heappop(times)
+                bucket = buckets.pop(t, None)
+                if bucket is None:
+                    continue
+                self._now = t
+                i = 0
+                while i < len(bucket) and fired < max_events:
+                    e = bucket[i]
+                    i += 1
+                    kind = type(e)
+                    if kind is tup:
+                        e[0](*e[1])
+                        fired += 1
+                    elif kind is lst:
+                        fn = e[0]
+                        if fn is None:
+                            if self._cancelled > 0:
+                                self._cancelled -= 1
+                            continue
+                        e[0] = None
+                        args = e[1]
+                        e[1] = ()
+                        fn(*args)
+                        fired += 1
+                    else:
+                        e()
+                        fired += 1
+                if i < len(bucket):
+                    # Stopped mid-epoch: requeue the unfired suffix ahead of
+                    # anything scheduled at this instant mid-drain, so the
+                    # next run resumes in the original order.
+                    del bucket[:i]
+                    later = buckets.get(t)
+                    if later is None:
+                        buckets[t] = bucket
+                        heapq.heappush(times, t)
+                    else:
+                        bucket.extend(later)
+                        buckets[t] = bucket
+            if (
+                until is not None
+                and until > self._now
+                and not times
+            ):
+                self._now = until
+        finally:
+            self._events_processed += fired
+            self._live -= fired
 
     def step(self) -> bool:
         """Fire the single next event. Returns False if the queue is empty."""

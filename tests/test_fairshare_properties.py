@@ -12,7 +12,12 @@ from repro.network.fairshare import (
     _maxmin_scan,
     maxmin_rates,
     maxmin_rates_reference,
+    maxmin_rates_vec,
 )
+
+#: Every production allocator implementation; each must be bit-for-bit the
+#: reference allocation regardless of where the dispatch thresholds sit.
+_VARIANTS = [_maxmin_scan, _maxmin_heap, maxmin_rates_vec]
 from repro.sim import Engine
 
 
@@ -167,15 +172,52 @@ def _fuzz_component(rng, nflows, nlinks):
     return flows, links
 
 
-@pytest.mark.parametrize("variant", [_maxmin_scan, _maxmin_heap])
+@pytest.mark.parametrize("variant", _VARIANTS)
 @pytest.mark.parametrize("nflows,nlinks", [(3, 2), (40, 8), (150, 16)])
-def test_both_variants_match_reference(variant, nflows, nlinks):
-    """Both implementations are exercised directly at every size — the
-    dispatch threshold must never hide a divergence in either path."""
+def test_all_variants_match_reference(variant, nflows, nlinks):
+    """Every implementation is exercised directly at every size — the
+    dispatch thresholds must never hide a divergence in any path."""
     rng = random.Random(nflows * 1000 + nlinks)
     for _ in range(25):
         flows, links = _fuzz_component(rng, nflows, nlinks)
         assert variant(flows, links) == maxmin_rates_reference(flows, links)
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_variants_match_reference_large_component(variant):
+    """512+ flow components — past the vectorized dispatch threshold's
+    intended regime, where CSR assembly and round batching actually engage."""
+    rng = random.Random(99)
+    for trial in range(3):
+        flows, links = _fuzz_component(rng, 520 + 8 * trial, 24)
+        assert variant(flows, links) == maxmin_rates_reference(flows, links)
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_variants_single_flow_component(variant):
+    """One flow, cap-limited and link-limited — the smallest component."""
+    for caps, spec in [
+        ([1e9], ([0], 5e8)),  # rate-cap is the bottleneck
+        ([1e8], ([0], 1e15)),  # link capacity is the bottleneck
+    ]:
+        links, flows = build_scenario(caps, [spec])
+        assert variant(flows, links) == maxmin_rates_reference(flows, links)
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_variants_zero_capacity_link(variant):
+    """The Link constructor rejects non-positive capacities, but fault
+    handling can zero one in place (a dead link mid-heal); flows crossing it
+    must get rate 0 in every implementation, others keep their fair share."""
+    links, flows = build_scenario(
+        [1e9, 1e9],
+        [([0], 1e8), ([0, 1], 1e9), ([1], 5e8), ([1], 2e8)],
+    )
+    links[0].capacity = 0.0
+    ref = maxmin_rates_reference(flows, links)
+    assert variant(flows, links) == ref
+    assert ref[flows[0]] == 0.0 and ref[flows[1]] == 0.0
+    assert ref[flows[2]] > 0.0 and ref[flows[3]] > 0.0
 
 
 def test_flow_rate_zero_parks_until_capacity_frees():
