@@ -33,6 +33,10 @@ from typing import Any, Iterable
 # Relative slack for float accumulation in rate sums.
 _RATE_TOL = 1e-6
 
+# Residual bytes at or below this are "drained" — must match the allocator's
+# finish threshold (repro.network.fairshare._EPSILON_BYTES).
+_DRAINED_BYTES = 1e-6
+
 
 class SanitizerError(AssertionError):
     """An invariant the simulator promised was violated."""
@@ -194,7 +198,13 @@ class Sanitizer:
                     f"{f.rate_cap:.6g}"
                 )
         for link in links:
-            total = sum(f.rate for f in link.flows if not f.done)
+            # A fully drained flow awaiting its _finish callback still sits
+            # in link.flows with its last rate, but carries no further
+            # bytes — its stale rate is not a capacity claim.
+            total = sum(
+                f.rate for f in link.flows
+                if not f.done and f.remaining > _DRAINED_BYTES
+            )
             if total > link.capacity * (1 + _RATE_TOL):
                 raise SanitizerError(
                     f"link {link.name}: allocated {total:.6g} B/s exceeds "

@@ -34,12 +34,24 @@ from repro.machine import Topology, cori, psg_gpu, small_test_machine, stampede2
 
 _MACHINES = {"cori": cori, "stampede2": stampede2, "psg": psg_gpu}
 
+#: Compiled topology families (repro.topo) accepted wherever presets are.
+_FAMILY_NAMES = ("fattree", "dragonfly", "railpod")
+
+#: --machine choices for commands that accept either kind of model.
+_MACHINE_CHOICES = sorted(_MACHINES) + sorted(_FAMILY_NAMES)
+
 
 def _machine(name: str, nodes: Optional[int]):
+    if name in _FAMILY_NAMES:
+        from repro.topo import build_family
+
+        return build_family(name, nodes=nodes)
     try:
         factory = _MACHINES[name]
     except KeyError:
-        raise SystemExit(f"unknown machine {name!r}; choose from {sorted(_MACHINES)}")
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {_MACHINE_CHOICES}"
+        )
     return factory(nodes) if nodes else factory()
 
 
@@ -143,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument("--op", dest="operation", default="bcast",
                       choices=["bcast", "reduce"])
     prun.add_argument("--nbytes", type=int, default=4 << 20)
-    prun.add_argument("--machine", default="cori", choices=sorted(_MACHINES))
+    prun.add_argument("--machine", default="cori", choices=_MACHINE_CHOICES)
     prun.add_argument("--nodes", type=int, default=None)
     prun.add_argument("--nranks", type=int, default=None)
     prun.add_argument("--iterations", type=int, default=5)
@@ -178,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     pbench.add_argument("--section", action="append", default=None,
                         choices=["engine", "allocator", "fig09", "scale"],
                         help="run only these sections (repeatable)")
+    pbench.add_argument("--machine", default="cori",
+                        choices=sorted(["cori", "stampede2", "psg"])
+                        + sorted(_FAMILY_NAMES),
+                        help="machine for the --scale leg: a flat preset or "
+                        "a compiled topology family")
 
     pprof = sub.add_parser(
         "profile",
@@ -196,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     pprof.add_argument("--op", dest="operation", default="bcast",
                        choices=["bcast", "reduce"])
     pprof.add_argument("--nbytes", type=int, default=4 << 20)
-    pprof.add_argument("--machine", default="cori", choices=sorted(_MACHINES))
+    pprof.add_argument("--machine", default="cori", choices=_MACHINE_CHOICES)
     pprof.add_argument("--nodes", type=int, default=None)
     pprof.add_argument("--iterations", type=int, default=5)
     pprof.add_argument("--top", type=int, default=0, metavar="N",
@@ -223,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     pchaos.add_argument("--compare", default="OMPI-default-topo",
                         help="second library run under the same plan "
                         "(empty string to skip)")
-    pchaos.add_argument("--machine", default="cori", choices=sorted(_MACHINES))
+    pchaos.add_argument("--machine", default="cori", choices=_MACHINE_CHOICES)
     pchaos.add_argument("--nodes", type=int, default=None)
     pchaos.add_argument("--nranks", type=int, default=None)
     pchaos.add_argument("--nbytes", type=int, default=512 << 10)
@@ -402,6 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
     ptree.add_argument("--cores", type=int, default=4)
     ptree.add_argument("--root", type=int, default=0)
 
+    ptopo = sub.add_parser(
+        "topo",
+        help="compile a datacenter topology family to its link list",
+        description="Compile a high-level topology spec (fat-tree, "
+        "dragonfly, rail-optimized GPU pod) into the link list and "
+        "placement tables the simulator consumes. Compilation is "
+        "deterministic: identical specs produce byte-identical JSON "
+        "(the digest printed per family is the receipt).",
+    )
+    ptopo.add_argument("--build", default="all", metavar="FAMILY",
+                       choices=sorted(_FAMILY_NAMES) + ["all"],
+                       help="family to compile (default: all three)")
+    ptopo.add_argument("--ranks", type=int, default=None,
+                       help="resize the family to the smallest shape "
+                       "fitting this many ranks")
+    ptopo.add_argument("--nodes", type=int, default=None,
+                       help="resize the family to this node count")
+    ptopo.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="write the compiled topology as canonical JSON "
+                       "(single family only; '-' or no value = stdout)")
+
     sub.add_parser("machines", help="list machine presets")
     return parser
 
@@ -466,13 +505,18 @@ def _cmd_run(args) -> str:
     from repro.parallel import SimJob, run_jobs
 
     spec = _machine(args.machine, args.nodes)
-    nranks = args.nranks or (spec.total_gpus if args.gpu else spec.total_cores)
+    compiled = getattr(spec, "compiled", None)
+    gpu = args.gpu or (compiled is not None and compiled.gpu_bound)
+    if compiled is not None:
+        nranks = args.nranks or compiled.ranks
+    else:
+        nranks = args.nranks or (spec.total_gpus if gpu else spec.total_cores)
     noisy = (nranks // 3,) if args.noise > 0 else "per-node"
     job = SimJob(
         machine=args.machine, nodes=args.nodes, nranks=nranks,
         library=args.library, operation=args.operation, nbytes=args.nbytes,
         iterations=args.iterations, noise_percent=args.noise,
-        noise_ranks=noisy, gpu=args.gpu, seed=args.seed,
+        noise_ranks=noisy, gpu=gpu, seed=args.seed,
     )
     kw = _parallel_kwargs(args)
     result = run_jobs([job], **kw)[0]
@@ -506,7 +550,8 @@ def _cmd_bench(args) -> str:
     if want_scale and "scale" not in sections:
         sections = sections + ("scale",)
     result = bench.run_core_bench(
-        sizing, args.jobs, sections=sections, scale_ranks=scale_ranks
+        sizing, args.jobs, sections=sections, scale_ranks=scale_ranks,
+        scale_preset=args.machine,
     )
     out = bench.render(result)
     if args.json:
@@ -532,7 +577,8 @@ def _cmd_profile(args) -> str:
         title = f"profile: {args.experiment} --scale {args.scale}"
     else:
         spec = _machine(args.machine, args.nodes)
-        nranks = spec.total_cores
+        compiled = getattr(spec, "compiled", None)
+        nranks = compiled.ranks if compiled is not None else spec.total_cores
 
         def target():
             return run_collective(
@@ -595,7 +641,9 @@ def _cmd_chaos(args) -> str:
     from repro.faults.plan import CorruptSpec
 
     spec = _machine(args.machine, args.nodes)
-    nranks = args.nranks or spec.total_cores
+    compiled = getattr(spec, "compiled", None)
+    native = compiled.ranks if compiled is not None else spec.total_cores
+    nranks = args.nranks or native
     lossy = args.drop > 0 or args.duplicate > 0
     if (not lossy and args.corrupt <= 0 and args.kill_rank is None
             and args.partition is None):
@@ -1130,6 +1178,49 @@ def _cmd_machines() -> str:
             f"{name:<10} {spec.nodes} nodes x {spec.node.sockets} sockets x "
             f"{spec.node.cores_per_socket} cores = {spec.total_cores} ranks{gpus}"
         )
+    from repro.topo import FAMILIES, compile_topo
+
+    for name in sorted(FAMILIES):
+        topo = compile_topo(FAMILIES[name])
+        lines.append(
+            f"{name:<10} {topo.nodes} nodes, {len(topo.links)} links, "
+            f"{len(topo.switches)} switches = {topo.ranks} ranks "
+            f"[topology family]"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_topo(args) -> str:
+    from repro.topo import FAMILIES, compile_topo
+
+    families = sorted(FAMILIES) if args.build == "all" else [args.build]
+    if args.ranks is not None and args.nodes is not None:
+        raise SystemExit("topo: pass --ranks or --nodes, not both")
+    if args.json is not None and len(families) > 1:
+        raise SystemExit("topo: --json needs a single --build FAMILY")
+    lines = []
+    for name in families:
+        spec = FAMILIES[name]
+        if args.ranks is not None:
+            spec = spec.for_ranks(args.ranks)
+        elif args.nodes is not None:
+            spec = spec.for_ranks(args.nodes * spec.ranks_per_node)
+        topo = compile_topo(spec)
+        census = "  ".join(f"{k}={v}" for k, v in topo.link_census().items())
+        lines.append(
+            f"{name:<10} {topo.nodes} nodes  {topo.ranks} ranks  "
+            f"{len(topo.switches)} switches  {len(topo.links)} links  "
+            f"sha256:{topo.digest()[:12]}"
+        )
+        lines.append(f"{'':<10} {census}")
+        if args.json is not None:
+            text = topo.to_json()
+            if args.json == "-":
+                lines.append(text.rstrip("\n"))
+            else:
+                with open(args.json, "w") as fh:
+                    fh.write(text)
+                lines.append(f"{'':<10} wrote {args.json}")
     return "\n".join(lines)
 
 
@@ -1156,6 +1247,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     elif args.command == "tree":
         print(_cmd_tree(args))
+    elif args.command == "topo":
+        print(_cmd_topo(args))
     elif args.command == "machines":
         print(_cmd_machines())
     return 0

@@ -315,11 +315,14 @@ def run_core_bench(
     *,
     sections: tuple[str, ...] = ("engine", "allocator", "fig09"),
     scale_ranks: tuple[int, ...] = SCALE_RANKS,
+    scale_preset: str = "cori",
 ) -> dict:
     """Run the core benchmark suite; the returned dict is BENCH_core.json.
 
     Include ``"scale"`` in ``sections`` (CLI: ``repro bench --scale``) to
-    append the rank-count scaling leg at ``scale_ranks`` world sizes.
+    append the rank-count scaling leg at ``scale_ranks`` world sizes on
+    ``scale_preset`` — a flat preset or a compiled topology family
+    (``fattree``/``dragonfly``/``railpod``; CLI: ``--machine``).
     """
     scale = scale or default_scale()
     if scale not in _SIZES:
@@ -340,7 +343,7 @@ def run_core_bench(
     if "fig09" in sections:
         out["fig09"] = bench_fig09(scale, n_jobs)
     if "scale" in sections:
-        out["scale_ranks"] = bench_scale(scale_ranks)
+        out["scale_ranks"] = bench_scale(scale_ranks, preset=scale_preset)
     return out
 
 

@@ -16,6 +16,7 @@ from repro.machine.spec import (
 )
 from repro.machine.topology import Placement, Topology
 from repro.machine.presets import (
+    TOPO_FAMILY_NAMES,
     cori,
     for_ranks,
     ranks_per_node,
@@ -23,6 +24,18 @@ from repro.machine.presets import (
     psg_gpu,
     small_test_machine,
 )
+
+
+def from_topo(topo):
+    """Lower a topology spec/compiled model to a :class:`MachineSpec`.
+
+    Re-exported from :mod:`repro.topo` lazily — the topo package imports
+    machine submodules, so a static import here would be cyclic.
+    """
+    from repro.topo import from_topo as _from_topo
+
+    return _from_topo(topo)
+
 
 __all__ = [
     "CommLevel",
@@ -32,8 +45,10 @@ __all__ = [
     "NodeSpec",
     "Placement",
     "Topology",
+    "TOPO_FAMILY_NAMES",
     "cori",
     "for_ranks",
+    "from_topo",
     "ranks_per_node",
     "stampede2",
     "psg_gpu",

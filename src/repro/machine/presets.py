@@ -70,6 +70,10 @@ PRESETS = {
     "psg": psg_gpu,
 }
 
+#: Compiled topology families (repro.topo) addressable everywhere preset
+#: names are: ``for_ranks``, ``repro bench --scale``, parallel sim jobs.
+TOPO_FAMILY_NAMES = ("fattree", "dragonfly", "railpod")
+
 
 def ranks_per_node(name: str) -> int:
     """Ranks one node of preset ``name`` contributes (cores, or GPUs when
@@ -88,11 +92,19 @@ def for_ranks(name: str, world_size: int) -> MachineSpec:
     ``repro bench --scale`` uses this to stand up 1K/4K/16K-rank clusters
     from the same calibrated per-link parameters as the paper-sized runs —
     node count is the only thing that varies with scale.
+
+    Topology-family names (``fattree``/``dragonfly``/``railpod``) resolve
+    through the topology compiler instead: the family spec is resized to
+    the smallest shape fitting ``world_size`` and compiled.
     """
-    if name not in PRESETS:
-        raise ValueError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
     if world_size < 1:
         raise ValueError(f"world_size must be >= 1, got {world_size}")
+    if name in TOPO_FAMILY_NAMES:
+        from repro.topo import family_for_ranks  # deferred: avoids cycle
+
+        return family_for_ranks(name, world_size)
+    if name not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
     per_node = ranks_per_node(name)
     nodes = -(-world_size // per_node)  # ceil division
     return PRESETS[name](nodes)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 
 class CommLevel(enum.IntEnum):
@@ -108,6 +109,12 @@ class MachineSpec:
     memcpy_bandwidth: float = 6e9
     # CPU-side reduction throughput (bytes of operand reduced per second).
     cpu_reduce_bandwidth: float = 5e9
+    # Compiled topology (repro.topo.CompiledTopology) riding along when this
+    # spec came out of the topology compiler: MpiWorld then routes inter-node
+    # traffic over the compiled link list instead of the flat NIC pair.
+    # Excluded from equality/hash — the compiled model is a pure function of
+    # the fields that *are* compared.
+    compiled: Any = field(default=None, compare=False, repr=False)
 
     @property
     def total_cores(self) -> int:

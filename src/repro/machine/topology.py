@@ -26,9 +26,15 @@ class Placement:
     gpu: int | None    # index within the socket, when GPU-bound
 
     @property
-    def socket_global(self) -> int:
-        """Socket id unique across the whole machine (for link naming)."""
-        return self.node * 1_000_000 + self.socket
+    def socket_global(self) -> tuple[int, int]:
+        """Socket key unique across the whole machine (for link naming).
+
+        A collision-free ``(node, socket)`` tuple. The previous encoding
+        (``node * 1_000_000 + socket``) silently collided for pathological
+        specs — e.g. ``(node=0, socket=1_000_000)`` aliased
+        ``(node=1, socket=0)`` — so the key is structural, not arithmetic.
+        """
+        return (self.node, self.socket)
 
 
 class Topology:

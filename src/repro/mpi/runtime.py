@@ -812,6 +812,12 @@ class MpiWorld:
         sanitize: bool = False,
         observe: bool = False,
     ):
+        # A spec out of the topology compiler (repro.topo) carries its
+        # compiled model: routing swaps to the compiled link list, and
+        # GPU-native families (rail pods) force GPU binding.
+        compiled = getattr(spec, "compiled", None)
+        if compiled is not None:
+            gpu_bound = gpu_bound or compiled.gpu_bound
         self.spec = spec
         self.nranks = nranks
         self.config = config
@@ -819,7 +825,14 @@ class MpiWorld:
         self.carry_data = carry_data
         self.engine = Engine()
         self.topology = Topology(spec, nranks, gpu_bound=gpu_bound)
-        self.fabric = Fabric(self.engine, spec, self.topology, gpudirect=gpudirect)
+        if compiled is not None:
+            from repro.network.topofabric import TopoFabric  # deferred: avoids cycle
+
+            self.fabric: Fabric = TopoFabric(
+                self.engine, spec, self.topology, compiled, gpudirect=gpudirect
+            )
+        else:
+            self.fabric = Fabric(self.engine, spec, self.topology, gpudirect=gpudirect)
         self.trace = TraceRecorder(enabled=trace)
         # Analysis hooks: a dependency-graph recorder may attach as observer
         # (repro.analysis.depgraph); sanitize=True arms runtime invariant

@@ -119,6 +119,20 @@ class Fabric:
         cap = self.spec.fabric.bandwidth * self.spec.nics_per_node
         return self._link(f"nic-in:n{node}", cap)
 
+    def _inter_node_leg(self, ps, pd) -> tuple[list[Link], float, float]:
+        """The node-to-node segment of a route: links, latency, rate cap.
+
+        The flat model: the source node's NIC injection lane and the
+        destination's ejection lane, one fabric latency. Compiled
+        topologies (:class:`~repro.network.topofabric.TopoFabric`) override
+        this with the multi-tier switch path of the machine model.
+        """
+        return (
+            [self.nic_out_link(ps.node), self.nic_in_link(pd.node)],
+            self.spec.fabric.alpha,
+            self.spec.fabric.bandwidth,
+        )
+
     def _gpu_params(self):
         gpu = self.spec.node.gpu
         if gpu is None:
@@ -208,10 +222,10 @@ class Fabric:
                 latency += spec.qpi.alpha
                 rate_cap = min(rate_cap, spec.qpi.bandwidth)
             else:  # INTER_NODE
-                links.append(self.nic_out_link(ps.node))
-                links.append(self.nic_in_link(pd.node))
-                latency += spec.fabric.alpha
-                rate_cap = min(rate_cap, spec.fabric.bandwidth)
+                leg_links, leg_latency, leg_cap = self._inter_node_leg(ps, pd)
+                links.extend(leg_links)
+                latency += leg_latency
+                rate_cap = min(rate_cap, leg_cap)
 
         if src_space == MemSpace.HOST and dst_space == MemSpace.HOST:
             add_cpu_leg()

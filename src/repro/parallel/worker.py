@@ -16,7 +16,15 @@ from repro.parallel.jobs import SimJob
 
 def _machine_spec(job: SimJob):
     from repro.machine import cori, psg_gpu, small_test_machine, stampede2
+    from repro.machine.presets import TOPO_FAMILY_NAMES
 
+    if job.machine in TOPO_FAMILY_NAMES:
+        # Compiled families rebuild deterministically in every worker
+        # process — same spec, byte-identical link list (the cross-process
+        # leg of the golden tests).
+        from repro.topo import build_family
+
+        return build_family(job.machine, nodes=job.nodes)
     factories: dict[str, Callable] = {
         "cori": cori,
         "stampede2": stampede2,

@@ -1,0 +1,116 @@
+"""Topology compiler: datacenter-scale machine models from high-level specs.
+
+The pipeline (DESIGN.md §24)::
+
+    spec (FatTreeSpec | DragonflySpec | RailPodSpec)
+      -> compile_topo(spec) : CompiledTopology   (link list + path tables)
+      -> from_topo(...)     : MachineSpec        (the handle the sim consumes)
+
+``FAMILIES`` maps the CLI/bench names to default datacenter-shaped specs;
+``family_for_ranks`` is the ``for_ranks`` analogue for compiled families
+(``repro bench --scale`` sweeps rank counts through it), and
+``small_family_machine`` builds the tiny instances the test suite runs
+collectives on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.spec import GpuSpec, MachineSpec, NodeSpec
+from repro.topo.compile import CompiledTopology, TopoLink, compile_topo
+from repro.topo.spec import DragonflySpec, FatTreeSpec, RailPodSpec, TopoSpec
+
+#: Default datacenter-shaped spec per family (1024 ranks / 32 nodes for the
+#: CPU families; a 4-node, 32-GPU pod for railpod).
+FAMILIES: dict[str, TopoSpec] = {
+    "fattree": FatTreeSpec(),
+    "dragonfly": DragonflySpec(),
+    "railpod": RailPodSpec(),
+}
+
+_SMALL_NODE = NodeSpec(sockets=2, cores_per_socket=1)
+
+#: Tiny per-family instances: a few nodes, 2 ranks/node, so worlds of 4-12
+#: ranks straddle every link tier — the conformance/property sweeps' grid.
+_SMALL: dict[str, TopoSpec] = {
+    "fattree": FatTreeSpec(
+        leaves=2, spines=2, hosts_per_leaf=2, node=_SMALL_NODE,
+    ),
+    "dragonfly": DragonflySpec(
+        groups=3, routers_per_group=2, hosts_per_router=1, global_per_router=1,
+        node=_SMALL_NODE,
+    ),
+    "railpod": RailPodSpec(
+        nodes=3, rails=2,
+        node=NodeSpec(sockets=2, cores_per_socket=2,
+                      gpu=GpuSpec(gpus_per_socket=1)),
+    ),
+}
+
+
+def _family_spec(family: str) -> TopoSpec:
+    try:
+        return FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology family {family!r}; known: {sorted(FAMILIES)}"
+        ) from None
+
+
+def build_family(
+    family: str, *, nodes: Optional[int] = None, ranks: Optional[int] = None
+) -> MachineSpec:
+    """Compile a family at its default shape, or resized to nodes/ranks."""
+    spec = _family_spec(family)
+    if nodes is not None and ranks is not None:
+        raise ValueError("pass nodes or ranks, not both")
+    if nodes is not None:
+        spec = spec.for_ranks(nodes * spec.ranks_per_node)
+    elif ranks is not None:
+        spec = spec.for_ranks(ranks)
+    return from_topo(spec)
+
+
+def family_for_ranks(family: str, world_size: int) -> MachineSpec:
+    """``machine.for_ranks`` for compiled families: smallest fitting model."""
+    return build_family(family, ranks=world_size)
+
+
+def small_family_machine(family: str) -> MachineSpec:
+    """Tiny compiled instance of ``family`` for unit/property tests."""
+    try:
+        spec = _SMALL[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology family {family!r}; known: {sorted(_SMALL)}"
+        ) from None
+    return from_topo(spec)
+
+
+def from_topo(topo) -> MachineSpec:
+    """A :class:`MachineSpec` from a topo spec or compiled topology.
+
+    The returned spec carries the compiled model in its ``compiled`` field;
+    every existing entry point (``run_collective``, experiments, faults,
+    recovery) accepts it unchanged, and ``MpiWorld`` routes over the
+    compiled link list.
+    """
+    compiled = topo if isinstance(topo, CompiledTopology) else compile_topo(topo)
+    return compiled.machine
+
+
+__all__ = [
+    "FAMILIES",
+    "CompiledTopology",
+    "DragonflySpec",
+    "FatTreeSpec",
+    "RailPodSpec",
+    "TopoLink",
+    "TopoSpec",
+    "build_family",
+    "compile_topo",
+    "family_for_ranks",
+    "from_topo",
+    "small_family_machine",
+]

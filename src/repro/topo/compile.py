@@ -1,0 +1,181 @@
+"""The compiled topology: link list, path tables, serialization.
+
+Compilation is a pure function of the spec: the link list comes out in a
+fixed construction order, path selection uses only arithmetic on node
+indices (never ``hash()`` or set iteration), and serialization sorts its
+keys — so identical specs compile to byte-identical JSON in any process,
+at any ``PYTHONHASHSEED``, under any worker count. The golden-file tests
+(``tests/test_topo_golden.py``) hold that line.
+
+A :class:`CompiledTopology` is consumed in two places:
+
+* ``machine``: a :class:`~repro.machine.spec.MachineSpec` carrying the
+  compiled model in its ``compiled`` field — the handle every existing
+  experiment/bench/fault path already passes around. ``MpiWorld`` sees the
+  field and swaps its flat fabric for a
+  :class:`~repro.network.topofabric.TopoFabric`.
+* ``node_path`` / ``gpu_peer_path``: the routing tables the fabric reads,
+  resolved per node pair (and, for rail pods, per GPU slot).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class TopoLink:
+    """One compiled link: a named contention point with Hockney parameters.
+
+    ``src``/``dst`` are endpoint ids (``n<i>`` for nodes, switch ids
+    otherwise); ``kind`` classifies the tier for reports and tests.
+    Directed where direction matters (host up/down, switch tiers), like the
+    flat fabric's NIC lanes; NVLink island lanes are undirected cliques.
+    """
+
+    name: str
+    src: str
+    dst: str
+    kind: str
+    bandwidth: float
+    latency: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "src": self.src, "dst": self.dst,
+            "kind": self.kind, "bandwidth": self.bandwidth,
+            "latency": self.latency,
+        }
+
+
+#: (src_node, dst_node, src_slot, dst_slot) -> ordered link names.
+PathFn = Callable[[int, int, int, int], tuple[str, ...]]
+#: (node, slot_a, slot_b) -> link names for an intra-island GPU pair.
+PeerFn = Callable[[int, int, int], tuple[str, ...]]
+
+
+class CompiledTopology:
+    """A lowered topology: the simulator-facing product of one compile."""
+
+    def __init__(
+        self,
+        spec,
+        switches: Sequence[str],
+        links: Sequence[TopoLink],
+        path_fn: PathFn,
+        iface: Optional[Sequence[int]] = None,
+        gpu_peer_fn: Optional[PeerFn] = None,
+        gpu_bound: bool = False,
+    ):
+        self.family: str = spec.family
+        self.spec = spec
+        self.switches = tuple(switches)
+        self.links = tuple(links)
+        self.by_name = {link.name: link for link in self.links}
+        if len(self.by_name) != len(self.links):
+            raise ValueError(f"{self.family}: duplicate link names in compile")
+        self._path_fn = path_fn
+        self._gpu_peer_fn = gpu_peer_fn
+        #: Per-GPU-slot rail assignment (rail pods), else None.
+        self.iface = None if iface is None else tuple(iface)
+        self.gpu_bound = gpu_bound
+        #: The MachineSpec handle existing code paths consume; carries this
+        #: compiled model so MpiWorld builds a TopoFabric from it.
+        self.machine: MachineSpec = dataclasses.replace(
+            spec.machine(), compiled=self
+        )
+        self._path_cache: dict[tuple[int, int, int, int], tuple[TopoLink, ...]] = {}
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> int:
+        return self.machine.nodes
+
+    @property
+    def ranks(self) -> int:
+        """World size the model natively carries (GPU-bound on rail pods)."""
+        if self.gpu_bound:
+            return self.machine.total_gpus
+        return self.machine.total_cores
+
+    # -- routing -------------------------------------------------------------
+
+    def node_path(
+        self, src: int, dst: int, src_slot: int = 0, dst_slot: int = 0
+    ) -> tuple[TopoLink, ...]:
+        """Ordered links of the ``src`` -> ``dst`` inter-node segment."""
+        key = (src, dst, src_slot, dst_slot)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        names = self._path_fn(src, dst, src_slot, dst_slot)
+        path = tuple(self.by_name[n] for n in names)
+        self._path_cache[key] = path
+        return path
+
+    def gpu_peer_path(
+        self, node: int, slot_a: int, slot_b: int
+    ) -> Optional[tuple[TopoLink, ...]]:
+        """Intra-island GPU-to-GPU links, or None when the family has none."""
+        if self._gpu_peer_fn is None:
+            return None
+        return tuple(
+            self.by_name[n] for n in self._gpu_peer_fn(node, slot_a, slot_b)
+        )
+
+    # -- reports & serialization ---------------------------------------------
+
+    def link_census(self) -> dict[str, int]:
+        """Link count per kind, insertion-ordered (for summaries)."""
+        census: dict[str, int] = {}
+        for link in self.links:
+            census[link.kind] = census.get(link.kind, 0) + 1
+        return census
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "spec": _spec_dict(self.spec),
+            "nodes": self.nodes,
+            "ranks": self.ranks,
+            "gpu_bound": self.gpu_bound,
+            "switches": list(self.switches),
+            "links": [link.to_dict() for link in self.links],
+            "iface": None if self.iface is None else list(self.iface),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialized form: byte-identical for identical specs."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def digest(self) -> str:
+        """sha256 of the canonical form (the determinism receipt)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+def _spec_dict(spec) -> dict:
+    d = dataclasses.asdict(spec)
+    d["family"] = spec.family
+    return d
+
+
+def compile_topo(spec) -> CompiledTopology:
+    """Lower a high-level topology spec to its compiled model."""
+    # Deferred imports: the family modules import this one for TopoLink.
+    from repro.topo import dragonfly, fattree, railpod
+    from repro.topo.spec import DragonflySpec, FatTreeSpec, RailPodSpec
+
+    if isinstance(spec, FatTreeSpec):
+        return fattree.compile_fattree(spec)
+    if isinstance(spec, DragonflySpec):
+        return dragonfly.compile_dragonfly(spec)
+    if isinstance(spec, RailPodSpec):
+        return railpod.compile_railpod(spec)
+    raise TypeError(f"not a topology spec: {spec!r}")

@@ -1,0 +1,183 @@
+"""Dragonfly generator: all-to-all groups joined by a circulant global plane.
+
+Node ``n`` sits under router ``R = (n // hosts_per_router) % a`` of group
+``G = n // (a * hosts_per_router)``. Link inventory:
+
+* host up/down lanes onto the router;
+* a full directed local mesh inside every group;
+* the global plane: each group's ``a*h`` global ports are paired across
+  groups by a circulant schedule — offsets ``d = 1, 2, ...`` each
+  contribute the edge set ``{(i, i+d mod g)}`` (two ports per group), with
+  the antipodal offset ``g/2`` contributing one port per group. The walk
+  covers *every* offset once (cost ``g-1`` ports, affordable by the spec's
+  ``a*h >= g-1`` check) before recycling into extra copies, so the group
+  graph is complete — every pair of groups has a direct edge.
+
+Each group's incident edges, sorted by (peer group, copy), map onto its
+global ports in order; port ``p`` lives on router ``p // h`` — the stable
+port assignment the conformance tests pin down.
+
+Minimal routing: up, local hop to the exporting router (if needed), one
+global hop, local hop to the destination router (if needed), down. Among
+multiple global copies for a group pair, ``(src + dst) % copies`` picks
+one deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.topo.compile import CompiledTopology, TopoLink
+from repro.topo.spec import DragonflySpec
+
+
+def global_edges(spec: DragonflySpec) -> list[tuple[int, int, int]]:
+    """The circulant global plane: ``(group_a, group_b, copy)`` edges.
+
+    Deterministic walk over offsets; every group ends with exactly
+    ``group_degree`` incident edge-endpoints (its exported global links).
+    """
+    g, degree = spec.groups, spec.group_degree
+    copies: dict[tuple[int, int], int] = {}
+    edges: list[tuple[int, int, int]] = []
+
+    def add(i: int, j: int) -> None:
+        pair = (min(i, j), max(i, j))
+        c = copies.get(pair, 0)
+        copies[pair] = c + 1
+        edges.append((pair[0], pair[1], c))
+
+    def add_antipodal() -> None:
+        # The self-paired offset g/2: one port per group (g even).
+        for i in range(g // 2):
+            add(i, i + g // 2)
+
+    # One full round of offsets (1 .. (g-1)//2, plus the antipodal g/2 when
+    # g is even) makes the group graph *complete* — minimal routing needs a
+    # direct edge for every group pair, so the round must finish before any
+    # offset recycles into extra copies. A paired offset consumes two
+    # endpoints per group, the antipodal one; a round costs g-1, which the
+    # spec's ``degree >= g-1`` check guarantees is affordable.
+    paired = list(range(1, (g - 1) // 2 + 1))
+    schedule = paired + ([g // 2] if g % 2 == 0 else [])
+    need = degree  # per-group endpoints still to place
+    pos = 0
+    while need > 0:
+        d = schedule[pos % len(schedule)]
+        pos += 1
+        if g % 2 == 0 and d == g // 2:
+            add_antipodal()
+            need -= 1
+        elif need >= 2:
+            for i in range(g):
+                add(i, (i + d) % g)
+            need -= 2
+        else:
+            # One endpoint left but the scheduled offset needs two: spend
+            # it on the antipodal half-round (g is even here — odd g forces
+            # an even degree through the spec's parity check).
+            assert g % 2 == 0, "spec validation should prevent this"
+            add_antipodal()
+            need -= 1
+    return edges
+
+
+def _port_tables(
+    spec: DragonflySpec, edges: list[tuple[int, int, int]]
+) -> dict[tuple[int, int, int], tuple[int, int]]:
+    """Map each global edge to its (router_a, router_b) endpoints.
+
+    A group's incident edges, sorted by (peer, copy), take its ports in
+    order; port ``p`` belongs to router ``p // global_per_router``.
+    """
+    incident: dict[int, list[tuple[int, int, tuple[int, int, int]]]] = {
+        i: [] for i in range(spec.groups)
+    }
+    for edge in edges:
+        a, b, c = edge
+        incident[a].append((b, c, edge))
+        incident[b].append((a, c, edge))
+    router_of: dict[tuple[int, tuple[int, int, int]], int] = {}
+    for group, rows in incident.items():
+        rows.sort(key=lambda r: (r[0], r[1]))
+        for port, (_, _, edge) in enumerate(rows):
+            router_of[(group, edge)] = port // spec.global_per_router
+    return {
+        edge: (router_of[(edge[0], edge)], router_of[(edge[1], edge)])
+        for edge in edges
+    }
+
+
+def _locate(spec: DragonflySpec, node: int) -> tuple[int, int]:
+    """Node -> (group, router-within-group)."""
+    router_global = node // spec.hosts_per_router
+    return router_global // spec.routers_per_group, router_global % spec.routers_per_group
+
+
+def compile_dragonfly(spec: DragonflySpec) -> CompiledTopology:
+    host, local, glob = spec.host_link, spec.local_link, spec.global_link
+    links: list[TopoLink] = []
+    for node in range(spec.nodes):
+        group, router = _locate(spec, node)
+        rid = f"g{group}r{router}"
+        links.append(TopoLink(f"df:n{node}>{rid}", f"n{node}", rid,
+                              "host-up", host.bandwidth, host.alpha))
+        links.append(TopoLink(f"df:{rid}>n{node}", rid, f"n{node}",
+                              "host-down", host.bandwidth, 0.0))
+    for group in range(spec.groups):
+        for ra in range(spec.routers_per_group):
+            for rb in range(spec.routers_per_group):
+                if ra == rb:
+                    continue
+                links.append(TopoLink(
+                    f"df:g{group}r{ra}>r{rb}", f"g{group}r{ra}", f"g{group}r{rb}",
+                    "local", local.bandwidth, local.alpha,
+                ))
+    edges = global_edges(spec)
+    ports = _port_tables(spec, edges)
+    edge_router: dict[tuple[int, int, int], tuple[int, int]] = {}
+    for edge in sorted(edges):
+        ga, gb, c = edge
+        ra, rb = ports[edge]
+        edge_router[edge] = (ra, rb)
+        ea, eb = f"g{ga}r{ra}", f"g{gb}r{rb}"
+        links.append(TopoLink(f"df:{ea}>{eb}:c{c}", ea, eb,
+                              "global", glob.bandwidth, glob.alpha))
+        links.append(TopoLink(f"df:{eb}>{ea}:c{c}", eb, ea,
+                              "global", glob.bandwidth, glob.alpha))
+    switches = [
+        f"g{g}r{r}"
+        for g in range(spec.groups)
+        for r in range(spec.routers_per_group)
+    ]
+    # Pair -> ordered copies, for deterministic copy selection in routing.
+    pair_edges: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    for edge in sorted(edges):
+        pair_edges.setdefault((edge[0], edge[1]), []).append(edge)
+
+    def path_fn(src: int, dst: int, src_slot: int, dst_slot: int) -> tuple[str, ...]:
+        gs, rs = _locate(spec, src)
+        gd, rd = _locate(spec, dst)
+        up = f"df:n{src}>g{gs}r{rs}"
+        down = f"df:g{gd}r{rd}>n{dst}"
+        if (gs, rs) == (gd, rd):
+            return (up, down)
+        if gs == gd:
+            return (up, f"df:g{gs}r{rs}>r{rd}", down)
+        pair = (min(gs, gd), max(gs, gd))
+        copies = pair_edges[pair]
+        edge = copies[(src + dst) % len(copies)]
+        ra, rb = edge_router[edge]
+        # Orient the edge from the source side.
+        if gs == edge[0]:
+            exp_s, exp_d = ra, rb
+        else:
+            exp_s, exp_d = rb, ra
+        hops = [up]
+        if rs != exp_s:
+            hops.append(f"df:g{gs}r{rs}>r{exp_s}")
+        hops.append(f"df:g{gs}r{exp_s}>g{gd}r{exp_d}:c{edge[2]}")
+        if exp_d != rd:
+            hops.append(f"df:g{gd}r{exp_d}>r{rd}")
+        hops.append(down)
+        return tuple(hops)
+
+    return CompiledTopology(spec, switches, links, path_fn)

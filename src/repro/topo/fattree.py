@@ -1,0 +1,75 @@
+"""Fat-tree generator: folded-Clos leaf–spine with derived uplink capacity.
+
+Link inventory (construction order = serialization order):
+
+* per node ``n`` under leaf ``L``: ``ft:n<n>>l<L>`` (host injection) and
+  ``ft:l<L>>n<n>`` (host ejection) at the host-link bandwidth;
+* per leaf ``L`` and spine ``S``: ``ft:l<L>>s<S>`` and ``ft:s<S>>l<L>`` at
+  the derived uplink bandwidth (full bisection at oversubscription 1:1).
+
+Routing: same-leaf pairs turn around at the leaf switch (two links);
+cross-leaf pairs take one of the ``spines`` equal-cost four-link paths,
+selected by the deterministic spread ``(src + dst) % spines`` — ECMP with a
+fixed hash, so compilation and routing are reproducible bytes.
+"""
+
+from __future__ import annotations
+
+from repro.topo.compile import CompiledTopology, TopoLink
+from repro.topo.spec import FatTreeSpec
+
+
+def _leaf_of(spec: FatTreeSpec, node: int) -> int:
+    return node // spec.hosts_per_leaf
+
+
+def compile_fattree(spec: FatTreeSpec) -> CompiledTopology:
+    host, up_bw = spec.host_link, spec.uplink_bandwidth
+    links: list[TopoLink] = []
+    for node in range(spec.nodes):
+        leaf = _leaf_of(spec, node)
+        links.append(TopoLink(f"ft:n{node}>l{leaf}", f"n{node}", f"l{leaf}",
+                              "host-up", host.bandwidth, host.alpha))
+        links.append(TopoLink(f"ft:l{leaf}>n{node}", f"l{leaf}", f"n{node}",
+                              "host-down", host.bandwidth, 0.0))
+    for leaf in range(spec.leaves):
+        for spine in range(spec.spines):
+            links.append(TopoLink(f"ft:l{leaf}>s{spine}", f"l{leaf}", f"s{spine}",
+                                  "leaf-up", up_bw, spec.switch_latency))
+            links.append(TopoLink(f"ft:s{spine}>l{leaf}", f"s{spine}", f"l{leaf}",
+                                  "leaf-down", up_bw, spec.switch_latency))
+    switches = [f"l{leaf}" for leaf in range(spec.leaves)]
+    switches += [f"s{spine}" for spine in range(spec.spines)]
+
+    def path_fn(src: int, dst: int, src_slot: int, dst_slot: int) -> tuple[str, ...]:
+        ls, ld = _leaf_of(spec, src), _leaf_of(spec, dst)
+        up, down = f"ft:n{src}>l{ls}", f"ft:l{ld}>n{dst}"
+        if ls == ld:
+            return (up, down)
+        spine = (src + dst) % spec.spines
+        return (up, f"ft:l{ls}>s{spine}", f"ft:s{spine}>l{ld}", down)
+
+    return CompiledTopology(spec, switches, links, path_fn)
+
+
+def equal_cost_paths(
+    topo: CompiledTopology, src: int, dst: int
+) -> list[tuple[TopoLink, ...]]:
+    """All minimal paths between two distinct nodes (the ECMP set).
+
+    Same-leaf pairs have one path; cross-leaf pairs have exactly
+    ``spines`` — the tested fat-tree invariant. The deterministic route
+    the fabric uses is always a member of this set.
+    """
+    spec: FatTreeSpec = topo.spec
+    if src == dst:
+        raise ValueError("equal-cost paths are defined for distinct nodes")
+    ls, ld = _leaf_of(spec, src), _leaf_of(spec, dst)
+    up, down = f"ft:n{src}>l{ls}", f"ft:l{ld}>n{dst}"
+    if ls == ld:
+        return [tuple(topo.by_name[n] for n in (up, down))]
+    return [
+        tuple(topo.by_name[n] for n in
+              (up, f"ft:l{ls}>s{s}", f"ft:s{s}>l{ld}", down))
+        for s in range(spec.spines)
+    ]

@@ -1,0 +1,63 @@
+"""Rail-optimized GPU pod generator: NVLink islands + parallel rail planes.
+
+Link inventory:
+
+* per node, the NVLink island: one undirected lane per GPU pair
+  (``rp:n<i>:g<a>-g<b>``, a < b) — a clique, standing in for the NVSwitch
+  crossbar (the tested island invariant);
+* per node and rail: the rail NIC's injection and ejection lanes onto that
+  rail plane's switch (``rp:n<i>>rail<r>`` / ``rp:rail<r>>n<i>``).
+
+The stable interface assignment of rail-optimized pods: GPU slot ``s``
+owns the NIC on rail ``s % rails``. Inter-node routing rides the *source*
+slot's rail; when the destination slot sits on a different rail, the
+message lands on the destination island's rail-owning GPU and takes one
+NVLink forwarding hop — the rail-alignment penalty rail-optimized
+collectives are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from repro.topo.compile import CompiledTopology, TopoLink
+from repro.topo.spec import RailPodSpec
+
+
+def compile_railpod(spec: RailPodSpec) -> CompiledTopology:
+    nv, rail = spec.nvlink, spec.rail_link
+    gpus = spec.gpus_per_node
+    links: list[TopoLink] = []
+    for node in range(spec.nodes):
+        for a in range(gpus):
+            for b in range(a + 1, gpus):
+                links.append(TopoLink(
+                    f"rp:n{node}:g{a}-g{b}", f"n{node}.g{a}", f"n{node}.g{b}",
+                    "nvlink", nv.bandwidth, nv.alpha,
+                ))
+        for r in range(spec.rails):
+            links.append(TopoLink(f"rp:n{node}>rail{r}", f"n{node}", f"rail{r}",
+                                  "rail-up", rail.bandwidth, rail.alpha))
+            links.append(TopoLink(f"rp:rail{r}>n{node}", f"rail{r}", f"n{node}",
+                                  "rail-down", rail.bandwidth, 0.0))
+    switches = [f"rail{r}" for r in range(spec.rails)]
+    iface = [spec.rail_of_slot(s) for s in range(gpus)]
+
+    def nv_name(node: int, a: int, b: int) -> str:
+        lo, hi = (a, b) if a < b else (b, a)
+        return f"rp:n{node}:g{lo}-g{hi}"
+
+    def path_fn(src: int, dst: int, src_slot: int, dst_slot: int) -> tuple[str, ...]:
+        r = iface[src_slot % gpus]
+        hops = [f"rp:n{src}>rail{r}", f"rp:rail{r}>n{dst}"]
+        land = r  # slot r owns rail r's NIC (r < rails <= gpus)
+        dslot = dst_slot % gpus
+        if iface[dslot] != r:
+            hops.append(nv_name(dst, land, dslot))
+        return tuple(hops)
+
+    def gpu_peer_fn(node: int, slot_a: int, slot_b: int) -> tuple[str, ...]:
+        return (nv_name(node, slot_a, slot_b),)
+
+    return CompiledTopology(
+        spec, switches, links, path_fn,
+        iface=iface, gpu_peer_fn=gpu_peer_fn, gpu_bound=True,
+    )

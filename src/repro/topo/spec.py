@@ -1,0 +1,264 @@
+"""High-level topology descriptions (the compiler's source language).
+
+A topology spec is a small frozen dataclass naming the *shape* of a
+datacenter fabric — counts, radixes, oversubscription, per-class link
+parameters — and nothing about individual links. The compiler
+(:mod:`repro.topo.compile`) lowers a spec into the concrete link list and
+path tables the simulator consumes. Validation lives here, in
+``__post_init__``, so an unbuildable spec fails at construction with a
+message naming the violated constraint, not deep inside the compiler.
+
+Three families ship (DESIGN.md §24):
+
+* :class:`FatTreeSpec` — folded-Clos leaf–spine: every leaf switch has one
+  uplink to each of ``spines`` spine switches, so every leaf pair has
+  exactly ``spines`` equal-cost two-hop paths. ``oversubscription`` scales
+  the uplink bandwidth (1.0 = full bisection).
+* :class:`DragonflySpec` — ``groups`` groups of ``routers_per_group``
+  all-to-all routers; each router exports ``global_per_router`` global
+  links, paired across groups by a deterministic circulant schedule.
+* :class:`RailPodSpec` — GPU pods: per-node NVLink/NVSwitch islands
+  (modelled as cliques) plus ``rails`` parallel IB rail planes with a
+  stable per-rank interface assignment (GPU slot ``s`` injects on rail
+  ``s % rails``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.machine.spec import GpuSpec, LinkParams, MachineSpec, NodeSpec
+
+
+def _require(cond: bool, what: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid topology spec: {what}")
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Folded-Clos leaf–spine fat-tree.
+
+    ``leaves`` leaf switches, each serving ``hosts_per_leaf`` nodes and
+    holding one uplink to each of ``spines`` spine switches. Uplink
+    bandwidth is derived, not configured: at ``oversubscription`` 1:1 a
+    leaf's aggregate uplink capacity equals its aggregate host capacity
+    (full bisection); ratio ``r`` divides the uplink capacity by ``r``.
+    """
+
+    family: ClassVar[str] = "fattree"
+
+    leaves: int = 8
+    spines: int = 4
+    hosts_per_leaf: int = 4
+    oversubscription: float = 1.0
+    node: NodeSpec = field(default=NodeSpec(sockets=2, cores_per_socket=16))
+    #: Node-to-leaf link (the NIC class): its alpha is the injection latency.
+    host_link: LinkParams = field(default=LinkParams(alpha=1.5e-6, bandwidth=10e9))
+    #: Latency added per switch tier crossed (leaf->spine or spine->leaf hop).
+    switch_latency: float = 0.3e-6
+    name: str = "fattree"
+
+    def __post_init__(self) -> None:
+        _require(self.leaves >= 1, f"fat-tree needs >= 1 leaf, got {self.leaves}")
+        _require(self.spines >= 1, f"fat-tree needs >= 1 spine, got {self.spines}")
+        _require(self.hosts_per_leaf >= 1,
+                 f"fat-tree needs >= 1 host per leaf, got {self.hosts_per_leaf}")
+        _require(self.oversubscription > 0,
+                 f"oversubscription must be positive, got {self.oversubscription}")
+
+    @property
+    def nodes(self) -> int:
+        return self.leaves * self.hosts_per_leaf
+
+    @property
+    def ranks_per_node(self) -> int:
+        return self.node.cores
+
+    @property
+    def uplink_bandwidth(self) -> float:
+        """Per-uplink capacity derived from the oversubscription ratio."""
+        aggregate = self.hosts_per_leaf * self.host_link.bandwidth
+        return aggregate / (self.spines * self.oversubscription)
+
+    def for_ranks(self, world_size: int) -> "FatTreeSpec":
+        """Resize to the smallest leaf count fitting ``world_size`` ranks."""
+        _require(world_size >= 1, f"world_size must be >= 1, got {world_size}")
+        nodes = -(-world_size // self.ranks_per_node)
+        leaves = max(1, -(-nodes // self.hosts_per_leaf))
+        return dataclasses.replace(self, leaves=leaves)
+
+    def machine(self) -> MachineSpec:
+        return MachineSpec(
+            name=self.name, nodes=self.nodes, node=self.node,
+            fabric=self.host_link,
+        )
+
+
+@dataclass(frozen=True)
+class DragonflySpec:
+    """Dragonfly: all-to-all router groups joined by global links.
+
+    Every group holds ``routers_per_group`` routers in a full local mesh;
+    each router serves ``hosts_per_router`` nodes and exports
+    ``global_per_router`` global links. The compiler pairs the
+    ``routers_per_group * global_per_router`` global ports of each group
+    across groups with a circulant schedule, so the constraints are:
+
+    * ``degree >= groups - 1`` — enough ports to reach every other group
+      (the group graph stays connected);
+    * ``groups * degree`` even — global ports pair up into links.
+    """
+
+    family: ClassVar[str] = "dragonfly"
+
+    groups: int = 8
+    routers_per_group: int = 4
+    hosts_per_router: int = 1
+    global_per_router: int = 2
+    node: NodeSpec = field(default=NodeSpec(sockets=2, cores_per_socket=16))
+    host_link: LinkParams = field(default=LinkParams(alpha=1.5e-6, bandwidth=10e9))
+    local_link: LinkParams = field(default=LinkParams(alpha=0.5e-6, bandwidth=25e9))
+    global_link: LinkParams = field(default=LinkParams(alpha=2.5e-6, bandwidth=12e9))
+    name: str = "dragonfly"
+
+    def __post_init__(self) -> None:
+        _require(self.groups >= 2, f"dragonfly needs >= 2 groups, got {self.groups}")
+        _require(self.routers_per_group >= 1,
+                 f"dragonfly needs >= 1 router/group, got {self.routers_per_group}")
+        _require(self.hosts_per_router >= 1,
+                 f"dragonfly needs >= 1 host/router, got {self.hosts_per_router}")
+        _require(self.global_per_router >= 1,
+                 f"dragonfly needs >= 1 global/router, got {self.global_per_router}")
+        degree = self.group_degree
+        _require(
+            degree >= self.groups - 1,
+            f"group global degree {degree} (= {self.routers_per_group} routers x "
+            f"{self.global_per_router} globals) cannot reach the other "
+            f"{self.groups - 1} groups — the group graph would disconnect",
+        )
+        _require(
+            (self.groups * degree) % 2 == 0,
+            f"{self.groups} groups x {degree} global ports is odd — ports "
+            f"cannot pair into links (bump global_per_router or groups)",
+        )
+
+    @property
+    def group_degree(self) -> int:
+        """Global links each group exports."""
+        return self.routers_per_group * self.global_per_router
+
+    @property
+    def nodes(self) -> int:
+        return self.groups * self.routers_per_group * self.hosts_per_router
+
+    @property
+    def ranks_per_node(self) -> int:
+        return self.node.cores
+
+    def for_ranks(self, world_size: int) -> "DragonflySpec":
+        """Resize to fit ``world_size`` ranks, rebalancing a/g/h.
+
+        Grows the group count first; when the fixed per-group radix can no
+        longer reach every peer group, widens the groups (more routers)
+        toward the balanced ``a ~ sqrt(nodes)`` dragonfly and raises the
+        per-router global count to keep the group graph connected and the
+        port total even.
+        """
+        _require(world_size >= 1, f"world_size must be >= 1, got {world_size}")
+        nodes = -(-world_size // self.ranks_per_node)
+        a, p, h = self.routers_per_group, self.hosts_per_router, self.global_per_router
+        g = max(2, -(-nodes // (a * p)))
+        if a * h < g - 1:
+            # Radix exhausted: rebalance toward a ~ sqrt(nodes / p).
+            a = max(a, int((nodes / p) ** 0.5) + 1)
+            g = max(2, -(-nodes // (a * p)))
+            h = max(h, -(-(g - 1) // a))
+        if (g * a * h) % 2:
+            h += 1
+        return dataclasses.replace(
+            self, groups=g, routers_per_group=a, global_per_router=h
+        )
+
+    def machine(self) -> MachineSpec:
+        return MachineSpec(
+            name=self.name, nodes=self.nodes, node=self.node,
+            fabric=self.host_link,
+        )
+
+
+def _default_rail_node() -> NodeSpec:
+    return NodeSpec(
+        sockets=2,
+        cores_per_socket=8,
+        gpu=GpuSpec(
+            gpus_per_socket=4,
+            pcie=LinkParams(alpha=1.0e-6, bandwidth=50e9),
+            reduce_bandwidth=600e9,
+            kernel_launch=3e-6,
+            streams=8,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class RailPodSpec:
+    """Rail-optimized GPU pod: NVLink islands + parallel IB rail planes.
+
+    Every node is one NVLink/NVSwitch island (compiled as a clique over its
+    GPUs). Inter-node traffic rides ``rails`` disjoint rail planes — one
+    switch crossbar per rail — with the stable interface assignment of
+    rail-optimized pods: GPU slot ``s`` owns the NIC on rail
+    ``s % rails``, so same-slot peers cross a single rail and mismatched
+    slots pay one NVLink forwarding hop on the destination island.
+    """
+
+    family: ClassVar[str] = "railpod"
+
+    nodes: int = 4
+    rails: int = 8
+    node: NodeSpec = field(default_factory=_default_rail_node)
+    #: GPU-to-GPU lane inside one island (NVLink through the NVSwitch).
+    nvlink: LinkParams = field(default=LinkParams(alpha=0.7e-6, bandwidth=150e9))
+    #: One NIC's lane onto its rail plane (and the rail switch ports).
+    rail_link: LinkParams = field(default=LinkParams(alpha=1.0e-6, bandwidth=25e9))
+    name: str = "railpod"
+
+    def __post_init__(self) -> None:
+        _require(self.nodes >= 1, f"rail pod needs >= 1 node, got {self.nodes}")
+        _require(self.rails >= 1, f"rail pod needs >= 1 rail, got {self.rails}")
+        _require(self.node.gpu is not None, "rail pod nodes need GPUs")
+        gpus = self.node.gpus
+        _require(
+            gpus % self.rails == 0,
+            f"{gpus} GPUs/node do not spread evenly over {self.rails} rails — "
+            f"the per-slot interface assignment would be unstable",
+        )
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.node.gpus
+
+    @property
+    def ranks_per_node(self) -> int:
+        return self.node.gpus  # ranks are GPU-bound on rail pods
+
+    def rail_of_slot(self, slot: int) -> int:
+        """The stable interface assignment: slot ``s`` injects on rail ``s % rails``."""
+        return slot % self.rails
+
+    def for_ranks(self, world_size: int) -> "RailPodSpec":
+        _require(world_size >= 1, f"world_size must be >= 1, got {world_size}")
+        nodes = -(-world_size // self.ranks_per_node)
+        return dataclasses.replace(self, nodes=nodes)
+
+    def machine(self) -> MachineSpec:
+        return MachineSpec(
+            name=self.name, nodes=self.nodes, node=self.node,
+            fabric=self.rail_link, nics_per_node=self.rails,
+        )
+
+
+TopoSpec = FatTreeSpec | DragonflySpec | RailPodSpec

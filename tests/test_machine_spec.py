@@ -83,3 +83,30 @@ class TestSpecs:
         spec = cori()
         with pytest.raises(Exception):
             spec.nodes = 99
+
+
+class TestPlacementSocketGlobal:
+    """Regression: the machine-wide socket key must never collide.
+
+    The old arithmetic encoding (``node * 1_000_000 + socket``) aliased
+    ``Placement(node=0, socket=1_000_000)`` with ``(node=1, socket=0)``;
+    the structural tuple cannot.
+    """
+
+    def test_tuple_key_is_collision_free(self):
+        from repro.machine.topology import Placement
+
+        a = Placement(rank=0, node=0, socket=1_000_000, core=0, gpu=None)
+        b = Placement(rank=1, node=1, socket=0, core=0, gpu=None)
+        assert a.socket_global != b.socket_global
+        assert a.socket_global == (0, 1_000_000)
+        assert b.socket_global == (1, 0)
+
+    def test_matches_topology_socket_of(self):
+        from repro.machine.topology import Topology
+
+        spec = cori(nodes=2)
+        topo = Topology(spec, spec.total_cores)
+        for rank in range(spec.total_cores):
+            p = topo.placement(rank)
+            assert p.socket_global == topo.socket_of(rank)

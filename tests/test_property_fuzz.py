@@ -501,6 +501,85 @@ def test_retraction_after_failed_tolerated(name):
         )
 
 
+# -- compiled-topology conformance sweep --------------------------------------
+#
+# Every ADAPT collective, on a small instance of every compiled topology
+# family (repro.topo): bit-exact against the same numpy oracle, and
+# lint-clean with zero sync edges — the structural claim holds when routing
+# runs over a compiled fat-tree / dragonfly / rail-pod link list instead of
+# the flat fabric. Case shapes derive from --fuzz-seed like the main sweep.
+
+TOPO_FAMILIES = ("fattree", "dragonfly", "railpod")
+
+
+def make_topo_case(seed: int, family: str, name: str, nranks: int) -> dict:
+    # Stable derivation (never hash(): it varies with PYTHONHASHSEED).
+    fam_ix = TOPO_FAMILIES.index(family)
+    rng = random.Random((seed << 22) ^ (fam_ix * 1000003) ^ (ORDER.index(name) * 7919))
+    regime = rng.choice(["tiny", "segments", "big"])
+    if regime == "tiny":
+        nbytes = rng.randint(nranks, 256)
+    elif regime == "segments":
+        nbytes = rng.randint(257, 8 * 1024)
+    else:
+        nbytes = rng.randint(8 * 1024 + 1, 32 * 1024)
+    return {
+        "collective": name,
+        "nranks": nranks,
+        "root": rng.randrange(nranks),
+        "nbytes": nbytes,
+        "segment_size": rng.choice([512, 1024, 2048, 4096]),
+        "inflight_sends": rng.randint(1, 3),
+        "posted_recvs": rng.randint(1, 4),
+        "tree": rng.choice(list(TREES)),
+        "op": rng.choice(["sum", "max"]),
+        "data_seed": rng.randrange(2**31),
+    }
+
+
+@pytest.mark.parametrize("family", TOPO_FAMILIES)
+@pytest.mark.parametrize("name", ORDER)
+def test_topo_conformance(fuzz_seed, family, name):
+    from repro.topo import small_family_machine
+
+    machine = small_family_machine(family)
+    nranks = machine.compiled.ranks
+    case = make_topo_case(fuzz_seed, family, name, nranks)
+    algo = COLLECTIVES[name][0]
+
+    # Data mode over the compiled link list: bit-exact vs the oracle.
+    world = MpiWorld(machine, nranks, carry_data=True, sanitize=True)
+    assert world.gpu_bound == machine.compiled.gpu_bound
+    data = _payload(case)
+    handle = algo(_context(case, world, data))
+    world.run()
+    assert handle.done, f"{family}/{name} ({case}): incomplete schedule"
+    check_oracle(case, handle, data)
+    # The schedule actually crossed the compiled fabric: at least one
+    # compiled link (family-prefixed name) carried bytes. Barrier is exempt
+    # — its zero-payload tokens ride the latency-only control plane, which
+    # routes over the compiled path but creates no flows.
+    if name != "barrier":
+        prefix = {"fattree": "ft:", "dragonfly": "df:", "railpod": "rp:"}[family]
+        carried = [
+            link for lname, link in world.fabric.links().items()
+            if lname.startswith(prefix) and link.bytes_carried > 0
+        ]
+        assert carried, f"{family}/{name}: no compiled link carried traffic"
+
+    # Analyzer mode: zero sync edges and a clean lint over the same grid
+    # (reduce_scatter's callback-order exemption as in the main sweep).
+    rec_world = MpiWorld(machine, nranks)
+    graph = record(rec_world, lambda: algo(_context(case, rec_world, None)),
+                   meta={"topo_family": family})
+    sync = graph.sync_edges()
+    if name == "reduce_scatter":
+        sync = [e for e in sync if e.via != "callback-order"]
+    assert sync == [], f"{family}/{name} ({case}): sync edges"
+    report = lint(graph)
+    assert report.ok, f"{family}/{name} ({case}): {report.render()}"
+
+
 class TestSweepDeterminism:
     def test_cases_reproducible_from_seed(self):
         a = [make_case(1234, i) for i in range(N_CASES)]

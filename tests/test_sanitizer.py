@@ -41,8 +41,10 @@ class TestWindowChecks:
 
 class TestRateChecks:
     @staticmethod
-    def flow(fid, rate, cap, done=False):
-        return SimpleNamespace(fid=fid, rate=rate, rate_cap=cap, done=done)
+    def flow(fid, rate, cap, done=False, remaining=100.0):
+        return SimpleNamespace(
+            fid=fid, rate=rate, rate_cap=cap, done=done, remaining=remaining
+        )
 
     @staticmethod
     def link(name, capacity, flows):
@@ -66,6 +68,16 @@ class TestRateChecks:
         f = self.flow(1, -0.5, 10.0)
         with pytest.raises(SanitizerError, match="negative rate"):
             fake_sanitizer().check_rates([f], [])
+
+    def test_drained_flow_stale_rate_ignored(self):
+        # A fully drained flow awaiting its _finish callback keeps its last
+        # rate but carries no more bytes — it must not count against the
+        # link's capacity (regression: false alarm on shared global links).
+        drained = self.flow(1, 10.0, 10.0, remaining=0.0)
+        live = self.flow(2, 10.0, 10.0)
+        fake_sanitizer().check_rates(
+            [drained, live], [self.link("l", 10.0, [drained, live])]
+        )
 
     def test_done_flows_ignored(self):
         stale = self.flow(1, 999.0, 10.0, done=True)

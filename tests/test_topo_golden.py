@@ -1,0 +1,79 @@
+"""Golden-file determinism for the topology compiler.
+
+The compiler promises *byte-identical* output for a given spec — across
+repeated in-process compiles and across worker processes with different
+hash seeds (DESIGN.md S24). The golden fixtures under ``tests/golden/``
+pin the default shape of each family; a digest drift means the generator
+changed and the fixture must be regenerated deliberately::
+
+    PYTHONPATH=src python -m repro topo --build FAMILY --json tests/golden/topo_FAMILY.json
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.topo import FAMILIES, build_family, compile_topo
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden"
+FAMILY_NAMES = sorted(FAMILIES)
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_double_compile_is_byte_identical(family):
+    a = compile_topo(FAMILIES[family])
+    b = compile_topo(FAMILIES[family])
+    assert a.to_json() == b.to_json()
+    assert a.digest() == b.digest()
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_matches_golden_fixture(family):
+    got = build_family(family).compiled.to_json()
+    want = (GOLDEN / f"topo_{family}.json").read_text()
+    assert got == want, (
+        f"compiled {family} topology drifted from tests/golden/topo_{family}.json; "
+        "if the generator change is intentional, regenerate the fixture"
+    )
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_golden_fixture_is_canonical_json(family):
+    text = (GOLDEN / f"topo_{family}.json").read_text()
+    doc = json.loads(text)
+    assert json.dumps(doc, indent=1, sort_keys=True) + "\n" == text
+    assert doc["family"] == family
+    assert doc["links"], "fixture must carry a non-empty link list"
+
+
+def _compile_in_subprocess(family: str, hash_seed: str) -> str:
+    """Compile via the CLI in a fresh interpreter with a pinned hash seed."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO / "src")
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "topo", "--build", family, "--json", "-"],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+        cwd=REPO,
+    ).stdout
+    # --json - prints the document after the summary lines; the canonical
+    # form opens with a bare "{" line.
+    start = out.index("\n{\n") + 1
+    return out[start:].rstrip("\n") + "\n"
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_cross_process_determinism(family):
+    want = (GOLDEN / f"topo_{family}.json").read_text()
+    # Two interpreters with *different* hash seeds must agree byte-for-byte
+    # with the fixture — no dict/set iteration order may leak into output.
+    assert _compile_in_subprocess(family, "0") == want
+    assert _compile_in_subprocess(family, "1") == want
