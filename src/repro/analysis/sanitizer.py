@@ -131,6 +131,12 @@ class Sanitizer:
                 )
         if getattr(self.world.config, "reliable", False):
             self._check_transport_conservation(failed)
+        frontier = getattr(self.world, "staleness_frontier", None)
+        if frontier is not None:
+            # Drain time is the end of the line for parked stragglers:
+            # resolve each into an accounted discard before balancing.
+            frontier.flush_pending()
+            self._check_contribution_conservation(frontier, failed)
 
     def _check_transport_conservation(self, failed: set[int]) -> None:
         """Reliable transport: wire attempts must all be accounted for."""
@@ -168,6 +174,43 @@ class Sanitizer:
                 f"+ {dropped} dropped + {severed} severed "
                 f"+ {stats['msgs_lost_dead']} lost-at-dead "
                 f"+ {stats['checksum_rejects']} checksum-rejected"
+            )
+
+    def _check_contribution_conservation(
+        self, frontier: Any, failed: set[int]
+    ) -> None:
+        """Quorum collectives: no contribution is ever silently lost.
+
+        Every contribution a quorum collective opened must end merged
+        on-time, merged late, or explicitly discarded (DESIGN.md S25). An
+        entry still open at drain is excused only if its owning rank is dead
+        or was ever confirmed failed — the contribution then never arrived,
+        and the failure detector explains why. The ledger's per-entry states
+        and aggregate counters are cross-checked as a double-entry book, so
+        a code path that updates one but not the other is caught here.
+        """
+        self.checks_run += 1
+        ledger = frontier.ledger
+        lost = [
+            (epoch, rank)
+            for epoch, rank in ledger.open_entries()
+            if rank not in failed
+        ]
+        if lost:
+            raise SanitizerError(
+                f"{len(lost)} quorum contribution(s) from live ranks "
+                f"silently lost at drain (neither merged on-time, merged "
+                f"late, nor discarded), e.g. (epoch, rank) {lost[:5]}"
+            )
+        still_open = sum(1 for st in ledger.entries.values() if st == "open")
+        if ledger.opened != (
+            ledger.on_time + ledger.late + ledger.discarded + still_open
+        ):
+            raise SanitizerError(
+                "contribution conservation violated at drain: "
+                f"{ledger.opened} opened != {ledger.on_time} on-time "
+                f"+ {ledger.late} late-merged + {ledger.discarded} "
+                f"discarded + {still_open} open-at-dead"
             )
 
     # -- collective windows ------------------------------------------------------

@@ -1,5 +1,13 @@
 """Applications driven through the simulated MPI runtime."""
 
 from repro.apps.asp import AspResult, run_asp, asp_reference
+from repro.apps.sgd import SgdResult, run_sgd, sgd_reference
 
-__all__ = ["AspResult", "run_asp", "asp_reference"]
+__all__ = [
+    "AspResult",
+    "SgdResult",
+    "asp_reference",
+    "run_asp",
+    "run_sgd",
+    "sgd_reference",
+]

@@ -150,6 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(pfxp)
     _add_parallel(pfxp)
 
+    pfq = sub.add_parser(
+        "figq",
+        help="Figure Q (ours): SGD staleness frontier — accuracy vs "
+        "latency for the relaxed quorum collectives",
+    )
+    pfq.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the rows as deterministic JSON "
+                     "(byte-identical at any --jobs count)")
+    _add_scale(pfq)
+    _add_parallel(pfq)
+
     prun = sub.add_parser("run", help="one ad-hoc collective measurement")
     prun.add_argument("--library", default="OMPI-adapt")
     prun.add_argument("--op", dest="operation", default="bcast",
@@ -234,8 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
         "the end-to-end checksum/NACK repair path.",
     )
     from repro.libraries.presets import ADAPT_OPERATIONS
+    from repro.relaxed import RELAXED_OPERATIONS
 
-    pchaos.add_argument("operation", choices=list(ADAPT_OPERATIONS))
+    pchaos.add_argument(
+        "operation",
+        choices=list(ADAPT_OPERATIONS) + list(RELAXED_OPERATIONS),
+    )
     pchaos.add_argument("--library", default="OMPI-adapt")
     pchaos.add_argument("--compare", default="OMPI-default-topo",
                         help="second library run under the same plan "
@@ -255,6 +270,21 @@ def build_parser() -> argparse.ArgumentParser:
     pchaos.add_argument("--recover", action="store_true",
                         help="arm live recovery: membership agreement + "
                         "tree re-graft/epoch restart (DESIGN.md S20)")
+    pchaos.add_argument("--stall", action="append", default=[],
+                        metavar="RANK:TIME:DURATION",
+                        help="freeze RANK's CPU for DURATION seconds "
+                        "starting at TIME (seconds; repeatable) — the "
+                        "straggler injection the *_quorum operations "
+                        "complete around")
+    pchaos.add_argument("--quorum", type=float, default=None,
+                        help="completion quorum for the *_quorum "
+                        "operations: a fraction in (0,1] or a rank count")
+    pchaos.add_argument("--min-quorum", type=int, default=1,
+                        help="floor below which a shrinking quorum "
+                        "degrades instead of completing")
+    pchaos.add_argument("--staleness-window", type=int, default=1,
+                        help="epochs a straggler contribution may merge "
+                        "forward before being discarded")
     pchaos.add_argument("--kill-rank", type=int, default=None,
                         help="fail-stop this rank mid-collective")
     pchaos.add_argument("--kill-at", type=float, default=None,
@@ -471,11 +501,13 @@ def _cmd_experiment(args) -> str:
         return table1_asp.run(args.scale, **kw).table()
     if args.command == "figx":
         return figx_faults.run(args.scale, **kw).table()
-    if args.command in ("figxr", "figxp"):
+    if args.command in ("figxr", "figxp", "figq"):
         if args.command == "figxr":
             from repro.harness.experiments import figx_recovery as driver
-        else:
+        elif args.command == "figxp":
             from repro.harness.experiments import figxp_partition as driver
+        else:
+            from repro.harness.experiments import figq_staleness as driver
 
         res = driver.run(args.scale, **kw)
         out = res.table()
@@ -638,17 +670,42 @@ def _parse_partition(text: str, nranks: int) -> tuple[tuple[int, ...], ...]:
 
 def _cmd_chaos(args) -> str:
     from repro.faults import FaultPlan, KillSpec, LossSpec, PartitionSpec
-    from repro.faults.plan import CorruptSpec
+    from repro.faults.plan import CorruptSpec, StallSpec
+    from repro.relaxed import RELAXED_OPERATIONS
 
     spec = _machine(args.machine, args.nodes)
     compiled = getattr(spec, "compiled", None)
     native = compiled.ranks if compiled is not None else spec.total_cores
     nranks = args.nranks or native
+    relaxed = args.operation in RELAXED_OPERATIONS
+    if args.quorum is not None and not relaxed:
+        raise SystemExit("chaos: --quorum needs a *_quorum operation")
+    if relaxed and args.recover:
+        raise SystemExit("chaos: --recover and *_quorum operations are "
+                         "mutually exclusive (quorum completion already "
+                         "is a degraded-completion strategy)")
+    stalls = []
+    for spec_str in args.stall:
+        try:
+            rank_s, time_s, dur_s = spec_str.split(":")
+            stalls.append(StallSpec(rank=int(rank_s), time=float(time_s),
+                                    duration=float(dur_s)))
+        except ValueError:
+            raise SystemExit(
+                f"chaos: bad --stall {spec_str!r}; expected RANK:TIME:DURATION"
+            ) from None
+    quorum_kw = {}
+    if relaxed:
+        q = args.quorum if args.quorum is not None else 1.0
+        # A count if it is an integral value above 1, else a fraction.
+        q = int(q) if q > 1 and float(q).is_integer() else q
+        quorum_kw = {"quorum": q, "min_quorum": args.min_quorum,
+                     "staleness_window": args.staleness_window}
     lossy = args.drop > 0 or args.duplicate > 0
     if (not lossy and args.corrupt <= 0 and args.kill_rank is None
-            and args.partition is None):
+            and args.partition is None and not stalls):
         raise SystemExit("chaos: nothing to inject; pass --drop, --duplicate, "
-                         "--corrupt, --kill-rank and/or --partition")
+                         "--corrupt, --kill-rank, --stall and/or --partition")
     if args.partition is None and (args.partition_at is not None
                                    or args.heal is not None):
         raise SystemExit("chaos: --partition-at/--heal need --partition")
@@ -657,7 +714,7 @@ def _cmd_chaos(args) -> str:
     def fault_free(lib: str):
         return run_collective(
             spec, nranks, lib, args.operation, args.nbytes,
-            iterations=args.iterations, seed=args.seed,
+            iterations=args.iterations, seed=args.seed, **quorum_kw,
         )
 
     base = fault_free(args.library)
@@ -691,8 +748,19 @@ def _cmd_chaos(args) -> str:
         except ValueError as exc:
             raise SystemExit(f"chaos: {exc}") from None
     plan = FaultPlan(losses=losses, kills=kills, corrupts=corrupts,
-                     partitions=partitions, seed=args.seed)
+                     partitions=partitions, stalls=stalls, seed=args.seed)
     desc = []
+    if stalls:
+        desc.append("; ".join(
+            f"stall rank {s.rank} at t={s.time * 1e3:.3f} ms for "
+            f"{s.duration * 1e3:.3f} ms" for s in stalls
+        ))
+    if quorum_kw:
+        desc.append(
+            f"quorum={quorum_kw['quorum']:g} "
+            f"min={quorum_kw['min_quorum']} "
+            f"window={quorum_kw['staleness_window']}"
+        )
     if lossy:
         desc.append(f"drop={args.drop:g} duplicate={args.duplicate:g} per message")
     if corrupts:
@@ -717,16 +785,39 @@ def _cmd_chaos(args) -> str:
     if args.compare and args.compare != args.library:
         libraries.append(args.compare)
     for lib in libraries:
-        # The comparator shows what the same plan does *without* recovery.
+        # The comparator shows what the same plan does *without* recovery
+        # (and, for the relaxed family, without the quorum: the exact op).
         recover = args.recover and lib == args.library
+        primary = lib == args.library
+        op = args.operation
+        kw = dict(quorum_kw)
+        if relaxed and not primary:
+            op = args.operation.replace("_quorum", "")
+            kw = {}
         r = run_collective(
-            spec, nranks, lib, args.operation, args.nbytes,
+            spec, nranks, lib, op, args.nbytes,
             iterations=args.iterations, seed=args.seed, fault_plan=plan,
             recover=recover,
             # A hung schedule legitimately leaves wreckage.
             sanitize=not kills and not partitions,
+            **kw,
         )
         lines.append(f"faulty      {r}")
+        if relaxed and primary and r.staleness_epoch:
+            excluded = sorted(set(range(nranks)) - set(r.contributed_ranks))
+            merged = sum(1 for m in r.late_merges if m[2] >= 0)
+            discarded = sum(1 for m in r.late_merges if m[2] < 0)
+            lines.append(
+                f"            -> quorum: contributed "
+                f"{len(r.contributed_ranks)}/{nranks} rank(s) across "
+                f"{r.staleness_epoch} epoch(s); excluded="
+                f"{','.join(map(str, excluded)) or '-'}"
+            )
+            lines.append(
+                f"            -> staleness: {merged} late contribution(s) "
+                f"merged forward, {discarded} discarded with accounting "
+                f"(conservation-checked: none lost silently)"
+            )
         if not r.completed:
             lines.append(
                 "            -> HUNG: the schedule cannot recover from the "
@@ -1227,7 +1318,7 @@ def _cmd_topo(args) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
-                        "table1", "figx", "figxr", "figxp"):
+                        "table1", "figx", "figxr", "figxp", "figq"):
         print(_cmd_experiment(args))
     elif args.command == "run":
         print(_cmd_run(args))

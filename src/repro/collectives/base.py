@@ -50,6 +50,16 @@ class CompletionReport:
     # routed around them and is not undone — these are the "false kills" a
     # binary detector would have made permanent.
     retractions: set[int] = field(default_factory=set)
+    # Relaxed quorum collectives (DESIGN.md S25): the local ranks whose
+    # contributions made the quorum (the result's provenance), the
+    # staleness-frontier epoch this operation ran as (0 = exact, no
+    # frontier), and the fate of every straggler contribution as
+    # ``(rank, from_epoch, into_epoch)`` — ``into_epoch`` is the epoch that
+    # absorbed the late merge, or ``-1`` for an explicitly discarded
+    # contribution (outside the staleness window).
+    contributed_ranks: set[int] = field(default_factory=set)
+    staleness_epoch: int = 0
+    late_merges: list[tuple[int, int, int]] = field(default_factory=list)
 
     def note(self, text: str) -> None:
         if text not in self.notes:
@@ -70,6 +80,22 @@ class CompletionReport:
         if self.retractions:
             parts.append(f"retracted={sorted(self.retractions)}")
         parts.extend(self.notes)
+        return "; ".join(parts)
+
+    def quorum_summary(self) -> str:
+        """One line of quorum accounting (empty for exact operations)."""
+        if not self.staleness_epoch:
+            return ""
+        merged = [m for m in self.late_merges if m[2] >= 0]
+        discarded = [m for m in self.late_merges if m[2] < 0]
+        parts = [
+            f"epoch={self.staleness_epoch}",
+            f"contributed={sorted(self.contributed_ranks)}",
+        ]
+        if merged:
+            parts.append(f"late_merged={merged}")
+        if discarded:
+            parts.append(f"discarded={[m[0] for m in discarded]}")
         return "; ".join(parts)
 
 
@@ -102,6 +128,19 @@ class CollectiveHandle:
     def excuse(self, local: int) -> None:
         """Release a (dead) rank from the completion set. Idempotent."""
         self.excused.add(local)
+
+    def mark_late(self, local: int, time: float) -> None:
+        """A quorum-excused straggler finished after the operation sealed.
+
+        Fires the chaining callbacks (so the rank proceeds into its next
+        iteration, obs records its span) without touching ``done_time`` —
+        the operation's timing was fixed at quorum close and a straggler's
+        eventual completion must not inflate it (DESIGN.md S25).
+        """
+        if local in self.done_time:
+            return
+        for cb in list(self.on_rank_done):
+            cb(local, time)
 
     @property
     def done(self) -> bool:

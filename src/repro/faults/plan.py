@@ -258,6 +258,45 @@ class FaultPlan:
         return cls(kills=[KillSpec(rank=rank, time=time)],
                    detect_delay=detect_delay)
 
+    @classmethod
+    def stall_sweep(
+        cls,
+        nranks: int,
+        *,
+        victims: int = 1,
+        duration: float = 5e-3,
+        start: float = 0.0,
+        spread: float = 0.0,
+        seed: int = 0,
+        detect_delay: float = 1e-3,
+    ) -> "FaultPlan":
+        """A seeded per-rank stall grid — ``single_kill``'s straggler twin.
+
+        Picks ``victims`` distinct ranks with the plan's own RNG and stalls
+        each for ``duration`` seconds; with ``spread`` > 0 the start times
+        scatter uniformly over ``[start, start + spread)`` instead of
+        landing together. Equal arguments build equal plans (the cache-key
+        property every :class:`FaultPlan` constructor must keep), so figq
+        and the fuzz suite can sweep straggler grids in one line.
+        """
+        import random
+
+        if not 0 <= victims <= nranks:
+            raise ValueError(
+                f"victims must be in [0, {nranks}], got {victims}"
+            )
+        rng = random.Random(seed)
+        ranks = sorted(rng.sample(range(nranks), victims))
+        stalls = [
+            StallSpec(
+                rank=r,
+                time=start + (rng.random() * spread if spread > 0 else 0.0),
+                duration=duration,
+            )
+            for r in ranks
+        ]
+        return cls(stalls=stalls, seed=seed, detect_delay=detect_delay)
+
 
 #: Every fault kind a plan dict may carry, mapped to its spec class.  The
 #: explicit registry is what lets :func:`plan_from_dict` reject a typo'd or

@@ -20,6 +20,7 @@ from repro.harness.experiments import (
     fig09_msgsize,
     fig10_scaling,
     fig11_gpu,
+    figq_staleness,
     figx_faults,
     figx_recovery,
     table1_asp,
@@ -33,6 +34,7 @@ __all__ = [
     "fig09_msgsize",
     "fig10_scaling",
     "fig11_gpu",
+    "figq_staleness",
     "figx_faults",
     "figx_recovery",
     "table1_asp",

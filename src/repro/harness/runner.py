@@ -77,6 +77,14 @@ class RunResult:
     # Engine counters at the end of the run (events processed, pending,
     # cancelled-parked); the bench scale leg derives events/sec from these.
     engine_stats: dict = field(default_factory=dict)
+    # Relaxed quorum collectives (repro.relaxed, DESIGN.md S25): the union
+    # of contributing ranks across iterations (result provenance), the last
+    # staleness-frontier epoch (0 = exact operations only), and every
+    # straggler's fate as [rank, from_epoch, into_epoch] (into -1 =
+    # discarded).
+    contributed_ranks: list = field(default_factory=list)
+    staleness_epoch: int = 0
+    late_merges: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-able form (the parallel executor's wire/cache format)."""
@@ -100,6 +108,9 @@ class RunResult:
             "false_kills": self.false_kills,
             "quorum_parks": self.quorum_parks,
             "engine_stats": dict(self.engine_stats),
+            "contributed_ranks": list(self.contributed_ranks),
+            "staleness_epoch": self.staleness_epoch,
+            "late_merges": [list(m) for m in self.late_merges],
         }
 
     @classmethod
@@ -183,6 +194,9 @@ def run_collective(
     time_limit: Optional[float] = None,
     observe: Optional[str] = None,
     recover: bool = False,
+    quorum: Optional[Union[int, float]] = None,
+    min_quorum: int = 1,
+    staleness_window: int = 1,
 ) -> RunResult:
     """Measure one (library, operation, size, noise) point.
 
@@ -202,11 +216,26 @@ def run_collective(
     simulated timeline — an observed run reports the exact times an
     unobserved one does.
     """
+    from repro.relaxed import RELAXED_OPERATIONS, QuorumPolicy
+
     if isinstance(library, str):
         library = library_by_name(library)
-    if operation not in ADAPT_OPERATIONS:
+    if operation not in ADAPT_OPERATIONS + RELAXED_OPERATIONS:
         raise ValueError(
-            f"unknown operation {operation!r}; known: {list(ADAPT_OPERATIONS)}"
+            f"unknown operation {operation!r}; known: "
+            f"{list(ADAPT_OPERATIONS) + list(RELAXED_OPERATIONS)}"
+        )
+    policy = None
+    if operation in RELAXED_OPERATIONS:
+        policy = QuorumPolicy(
+            quorum=1.0 if quorum is None else quorum,
+            min_quorum=min_quorum,
+            staleness_window=staleness_window,
+        )
+    elif quorum is not None:
+        raise ValueError(
+            f"quorum applies only to {list(RELAXED_OPERATIONS)}, "
+            f"not {operation!r}"
         )
     if mode not in ("imb", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -267,7 +296,7 @@ def run_collective(
         )
         injectors.append(injector)
     prepare = custom_algorithm or prepare_operation(
-        library, operation, recover=recover
+        library, operation, recover=recover, policy=policy
     )
     result = RunResult(
         library=library.name,
@@ -310,6 +339,22 @@ def run_collective(
             for h in live:
                 agreed |= h.report.failed_ranks
             result.failed_ranks = sorted(agreed)
+        frontier = getattr(world, "staleness_frontier", None)
+        if frontier is not None:
+            # The run is over: parked stragglers resolve (into accounted
+            # discards) so the reports below carry their final fate.
+            frontier.flush_pending()
+        contributed: set = set()
+        for h in live:
+            rep = h.report
+            if rep.staleness_epoch:
+                contributed |= rep.contributed_ranks
+                result.staleness_epoch = max(
+                    result.staleness_epoch, rep.staleness_epoch
+                )
+                result.late_merges.extend(list(m) for m in rep.late_merges)
+        if contributed:
+            result.contributed_ranks = sorted(contributed)
         if observe is not None:
             from repro.obs.metrics import compute_metrics
 

@@ -340,7 +340,8 @@ _RING_OPS = {
 
 
 def prepare_operation(
-    library: LibraryModel, operation: str, *, recover: bool = False
+    library: LibraryModel, operation: str, *, recover: bool = False,
+    policy=None,
 ):
     """Resolve (library, operation) to a prepare callable.
 
@@ -352,10 +353,20 @@ def prepare_operation(
     membership agreement and epoch-restart/in-place repair; recovery
     launches every rank up front, so per-rank iteration chaining degrades to
     a single launch.
+
+    The relaxed quorum family (``*_quorum``, DESIGN.md S25) is ADAPT-only
+    and takes a :class:`~repro.relaxed.QuorumPolicy`; quorum completion
+    already *is* a degraded-completion strategy, so combining it with
+    ``recover`` is rejected.
     """
+    from repro.relaxed import RELAXED_OPERATIONS
+
+    if operation in RELAXED_OPERATIONS:
+        return _prepare_relaxed(operation, recover=recover, policy=policy)
     if operation not in ADAPT_OPERATIONS:
         raise ValueError(
-            f"unknown operation {operation!r}; known: {list(ADAPT_OPERATIONS)}"
+            f"unknown operation {operation!r}; known: "
+            f"{list(ADAPT_OPERATIONS) + list(RELAXED_OPERATIONS)}"
         )
     if not recover:
         if operation == "bcast":
@@ -383,6 +394,41 @@ def prepare_operation(
             return launch_recover(operation, ctx)
 
         return PreparedCollective(launch)
+
+    return prepare
+
+
+def _prepare_relaxed(operation: str, *, recover: bool, policy):
+    """Prepare a quorum collective (`bcast_quorum` etc., DESIGN.md S25)."""
+    from repro.relaxed import (
+        QuorumPolicy,
+        allreduce_quorum,
+        bcast_quorum,
+        reduce_quorum,
+    )
+
+    if recover:
+        raise ValueError(
+            f"{operation!r} cannot combine with recover=True: quorum "
+            "completion is itself the degraded-completion strategy "
+            "(min_quorum is the floor that hands back to recovery semantics)"
+        )
+    fns = {
+        "bcast_quorum": bcast_quorum,
+        "reduce_quorum": reduce_quorum,
+        "allreduce_quorum": allreduce_quorum,
+    }
+    fn = fns[operation]
+    needs_tree = operation in ("bcast_quorum", "allreduce_quorum")
+    needs_op = operation in ("reduce_quorum", "allreduce_quorum")
+
+    def prepare(comm, root, nbytes, config, data=None, op: ReduceOp = SUM, **kw):
+        ctx = _ctx(
+            comm, root, nbytes, config,
+            tree=_topo_tree(comm, root) if needs_tree else None,
+            data=data, op=op if needs_op else None,
+        )
+        return _prepared(fn, ctx, policy=policy or QuorumPolicy())
 
     return prepare
 

@@ -21,6 +21,7 @@ from repro.obs.spans import ObsRecorder
 _PID_RANKS = 1
 _PID_LINKS = 2
 _PID_RECOVERY = 3
+_PID_STALENESS = 4
 
 #: Keys every complete event must carry (the validator's schema).
 _X_REQUIRED = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
@@ -32,6 +33,8 @@ def _tid(track: tuple[str, Any], link_ids: dict[str, int]) -> tuple[int, int]:
         return _PID_RANKS, int(ident)
     if kind == "recovery":
         return _PID_RECOVERY, 0
+    if kind == "staleness":
+        return _PID_STALENESS, 0
     return _PID_LINKS, link_ids[ident]
 
 
@@ -56,6 +59,11 @@ def chrome_trace_events(obs: Union[ObsRecorder, dict]) -> list[dict]:
         events.append(
             {"name": "process_name", "ph": "M", "pid": _PID_RECOVERY, "tid": 0,
              "args": {"name": "recovery"}}
+        )
+    if any(kind == "staleness" for kind, _ in tracks):
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": _PID_STALENESS,
+             "tid": 0, "args": {"name": "staleness"}}
         )
     for kind, ident in tracks:
         pid, tid = _tid((kind, ident), link_ids)

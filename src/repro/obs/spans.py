@@ -27,6 +27,7 @@ CAT_NOISE = "noise"          # injected noise occupying the rank's CPU
 CAT_COLLECTIVE = "collective"  # one rank's participation in one collective
 CAT_FLOW = "flow"            # one transfer occupying one link
 CAT_RECOVERY = "recovery"    # one membership repair: first suspicion -> commit
+CAT_STALENESS = "staleness"  # one quorum epoch: open -> seal (DESIGN.md S25)
 
 #: Wait kinds that count as synchronization (MPI_Wait*) — a sleeping proclet
 #: is idle by choice, not blocked on a peer.
@@ -130,10 +131,19 @@ class ObsRecorder:
         return [s for s in self.spans if s.cat == cat]
 
     def tracks(self) -> list[tuple[str, Any]]:
-        """Distinct tracks, ranks first then links, deterministic order."""
+        """Distinct tracks: ranks, then links, then the singleton process
+        tracks (recovery, staleness) — deterministic order."""
         ranks = sorted({s.track[1] for s in self.spans if s.track[0] == "rank"})
         links = sorted({s.track[1] for s in self.spans if s.track[0] == "link"})
-        return [("rank", r) for r in ranks] + [("link", name) for name in links]
+        other = sorted(
+            {s.track for s in self.spans if s.track[0] not in ("rank", "link")},
+            key=lambda t: (t[0], str(t[1])),
+        )
+        return (
+            [("rank", r) for r in ranks]
+            + [("link", name) for name in links]
+            + other
+        )
 
     # -- wire format -----------------------------------------------------------
     #

@@ -29,7 +29,10 @@ from repro.faults.plan import FaultPlan
 #: 4: partition tolerance — fault plans gained ``partitions`` and the
 #: adaptive-detector scalars, results the ``false_kills``/``quorum_parks``
 #: fields and severed transport counters.
-CACHE_SCHEMA = 4
+#: 5: relaxed quorum collectives — SimJob gained the quorum policy knobs
+#: and the ``sgd`` kind; results the ``contributed_ranks``/
+#: ``staleness_epoch``/``late_merges`` provenance fields.
+CACHE_SCHEMA = 5
 
 #: Algorithm-variant families resolvable by name in the worker
 #: (fig08 sweeps Intel's per-algorithm topology-aware variants).
@@ -40,7 +43,7 @@ ALGO_FAMILIES = ("intel-topo-bcast", "intel-topo-reduce")
 class SimJob:
     """One independent cell of a parameter sweep."""
 
-    kind: str = "collective"  # "collective" | "asp"
+    kind: str = "collective"  # "collective" | "asp" | "sgd"
     machine: str = "cori"  # preset name: cori | stampede2 | psg | testbox
     nodes: Optional[int] = None  # None = the preset's default node count
     nranks: Optional[int] = None  # None = all cores (or all GPUs when gpu)
@@ -70,9 +73,17 @@ class SimJob:
     # asp-only knobs (ignored for kind="collective"):
     row_bytes: int = 1 << 20
     compute_per_iteration: float = 1.57e-3
+    # Relaxed quorum collectives (DESIGN.md S25): quorum None runs the
+    # exact operation; a count (int) or fraction (float) relaxes the
+    # ``*_quorum`` operations and the sgd kind's gradient allreduce. The
+    # sgd kind reuses ``iterations`` as epochs, ``nbytes`` as the gradient
+    # size, and ``compute_per_iteration`` as per-epoch compute.
+    quorum: Optional[Union[int, float]] = None
+    min_quorum: int = 1
+    staleness_window: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in ("collective", "asp"):
+        if self.kind not in ("collective", "asp", "sgd"):
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.algo_family is not None and self.algo_family not in ALGO_FAMILIES:
             raise ValueError(f"unknown algo family {self.algo_family!r}")

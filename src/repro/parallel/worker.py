@@ -103,6 +103,30 @@ def execute_job(job: SimJob) -> dict:
         if isinstance(job.noise_ranks, tuple)
         else job.noise_ranks
     )
+    if job.kind == "sgd":
+        from repro.apps.sgd import run_sgd
+
+        res = run_sgd(
+            spec,
+            nranks,
+            epochs=job.iterations,
+            grad_bytes=job.nbytes,
+            compute_per_epoch=job.compute_per_iteration,
+            quorum=job.quorum,
+            min_quorum=job.min_quorum,
+            staleness_window=job.staleness_window,
+            noise_percent=job.noise_percent,
+            noise_ranks=noise_ranks,
+            noise_frequency=job.noise_frequency,
+            seed=job.seed,
+            fault_plan=job.fault_plan,
+            sanitize=job.sanitize,
+            time_limit=job.time_limit,
+            config=config,
+        )
+        out = res.to_dict()
+        out["kind"] = "sgd"
+        return out
     res = run_collective(
         spec,
         nranks,
@@ -125,6 +149,9 @@ def execute_job(job: SimJob) -> dict:
         time_limit=job.time_limit,
         observe=job.observe,
         recover=job.recover,
+        quorum=job.quorum,
+        min_quorum=job.min_quorum,
+        staleness_window=job.staleness_window,
     )
     out = res.to_dict()
     out["kind"] = "collective"
@@ -139,6 +166,10 @@ def result_from_dict(d: dict):
         from repro.apps.asp import AspResult
 
         return AspResult.from_dict(d)
+    if kind == "sgd":
+        from repro.apps.sgd import SgdResult
+
+        return SgdResult.from_dict(d)
     from repro.harness.runner import RunResult
 
     return RunResult.from_dict(d)

@@ -1,0 +1,39 @@
+"""Bounded-staleness quorum collectives (DESIGN.md S25).
+
+The relaxed operation family beside the nine exact ADAPT collectives:
+complete-at-quorum allreduce/bcast/reduce with straggler late-merge against
+a per-world staleness frontier, and double-entry contribution accounting
+enforced by the sanitizer's conservation rule.
+"""
+
+from repro.relaxed.frontier import (
+    DISCARDED,
+    LATE,
+    ON_TIME,
+    OPEN,
+    ContributionLedger,
+    StalenessFrontier,
+    ensure_frontier,
+)
+from repro.relaxed.policy import QuorumPolicy
+from repro.relaxed.quorum import (
+    RELAXED_OPERATIONS,
+    allreduce_quorum,
+    bcast_quorum,
+    reduce_quorum,
+)
+
+__all__ = [
+    "DISCARDED",
+    "LATE",
+    "ON_TIME",
+    "OPEN",
+    "ContributionLedger",
+    "QuorumPolicy",
+    "RELAXED_OPERATIONS",
+    "StalenessFrontier",
+    "allreduce_quorum",
+    "bcast_quorum",
+    "ensure_frontier",
+    "reduce_quorum",
+]

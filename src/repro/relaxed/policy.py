@@ -1,0 +1,60 @@
+"""Quorum policy: how many contributions an operation waits for.
+
+A :class:`QuorumPolicy` is pure data — picklable, hashable, and carried by
+:class:`~repro.parallel.jobs.SimJob` cells — describing the relaxation of a
+collective (DESIGN.md S25):
+
+* ``quorum`` — the completion threshold. An ``int`` is an absolute
+  contribution count; a ``float`` in ``(0, 1]`` is a fraction of the
+  communicator (rounded up). ``1.0`` (the default) is full participation:
+  the operation is then bit-identical to its exact ADAPT counterpart.
+* ``min_quorum`` — the floor below which the operation stops trading
+  completeness for latency and degrades to the PR 5 recovery semantics:
+  complete with *every* live contribution, ``degraded`` set on the report.
+* ``staleness_window`` — how many epochs a straggler contribution may lag
+  behind the frontier and still merge into a later epoch's reduction; a
+  contribution older than the window is discarded with an accounting entry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class QuorumPolicy:
+    """Completion threshold + staleness bound for one relaxed collective."""
+
+    quorum: Union[int, float] = 1.0
+    min_quorum: int = 1
+    staleness_window: int = 1
+
+    def __post_init__(self) -> None:
+        q = self.quorum
+        if isinstance(q, bool) or not isinstance(q, (int, float)):
+            raise ValueError(f"quorum must be an int count or float fraction, got {q!r}")
+        if isinstance(q, int):
+            if q < 1:
+                raise ValueError(f"quorum count must be >= 1, got {q}")
+        elif not 0.0 < q <= 1.0:
+            raise ValueError(f"quorum fraction must be in (0, 1], got {q}")
+        if self.min_quorum < 1:
+            raise ValueError(f"min_quorum must be >= 1, got {self.min_quorum}")
+        if self.staleness_window < 0:
+            raise ValueError(
+                f"staleness_window must be >= 0, got {self.staleness_window}"
+            )
+
+    def resolve(self, size: int) -> int:
+        """The contribution count this policy demands of a ``size``-rank op."""
+        if isinstance(self.quorum, int):
+            count = self.quorum
+        else:
+            count = math.ceil(self.quorum * size)
+        return max(1, min(count, size))
+
+    def floor(self, size: int) -> int:
+        """The ``min_quorum`` floor, clamped to the communicator."""
+        return max(1, min(self.min_quorum, size))

@@ -68,6 +68,75 @@ class TestCorruptEntryFallback:
         assert res.times == [42.0]
 
 
+class TestStalenessFieldsRoundTrip:
+    """The DESIGN.md S25 provenance fields (``contributed_ranks``/
+    ``staleness_epoch``/``late_merges``) must survive the wire and the
+    cache byte-identically — they feed figq's accounting columns."""
+
+    def quorum_job(self, **kw):
+        from repro.faults.plan import FaultPlan
+
+        kw.setdefault("operation", "allreduce_quorum")
+        kw.setdefault("quorum", 0.75)
+        kw.setdefault("nranks", 16)
+        kw.setdefault("nodes", 2)
+        kw.setdefault("nbytes", 16 << 10)
+        kw.setdefault("iterations", 3)
+        kw.setdefault("sanitize", True)
+        kw.setdefault("fault_plan", FaultPlan.stall_sweep(
+            16, victims=2, duration=6e-3, start=1e-4, seed=9))
+        return tiny_job(**kw)
+
+    def sgd_job(self):
+        from repro.faults.plan import FaultPlan
+
+        return tiny_job(
+            kind="sgd", nranks=16, nodes=2, nbytes=16 << 10, iterations=4,
+            compute_per_iteration=5e-4, quorum=0.75, staleness_window=2,
+            sanitize=True,
+            fault_plan=FaultPlan.stall_sweep(
+                16, victims=1, duration=1.1e-3, start=5e-4, seed=7),
+        )
+
+    def test_collective_provenance_identical_across_jobs_and_cache(
+        self, tmp_path
+    ):
+        job = self.quorum_job()
+        cache = ResultCache(tmp_path)
+        [miss] = run_jobs([job], n_jobs=1, cache=cache)
+        # The run produced real provenance worth protecting.
+        assert miss.staleness_epoch == 3
+        assert miss.contributed_ranks and len(miss.contributed_ranks) < 16
+        assert miss.late_merges
+        [hit] = run_jobs([job], n_jobs=1, cache=cache)
+        [multi] = run_jobs([job], n_jobs=2, cache=None)
+        assert hit.to_dict() == miss.to_dict()
+        assert multi.to_dict() == miss.to_dict()
+        # late_merges tuples normalize to lists on the wire; modulo the
+        # worker's dispatch tag, the cached entry re-encodes exactly.
+        stored = json.loads(cache.path_for(job).read_text(encoding="utf-8"))
+        assert stored.pop("kind") == "collective"
+        assert stored == miss.to_dict()
+
+    def test_sgd_accounting_identical_across_jobs_and_cache(self, tmp_path):
+        job = self.sgd_job()
+        cache = ResultCache(tmp_path)
+        [miss] = run_jobs([job], n_jobs=1, cache=cache)
+        assert miss.on_time_fraction < 1.0  # the lag plan actually bit
+        assert miss.late_merged + miss.discarded > 0
+        [hit] = run_jobs([job], n_jobs=1, cache=cache)
+        [multi] = run_jobs([job], n_jobs=2, cache=None)
+        assert hit.to_dict() == miss.to_dict()
+        assert multi.to_dict() == miss.to_dict()
+
+    def test_quorum_knobs_are_cache_key_material(self):
+        base = self.quorum_job()
+        assert base.cache_key() != self.quorum_job(quorum=0.9).cache_key()
+        assert base.cache_key() != self.quorum_job(
+            staleness_window=2).cache_key()
+        assert base.cache_key() != self.quorum_job(min_quorum=4).cache_key()
+
+
 class TestNoCacheBypassesReadsAndWrites:
     ARGV = ["run", "--machine", "cori", "--nodes", "2", "--nbytes", "65536",
             "--iterations", "1"]

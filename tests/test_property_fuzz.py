@@ -580,6 +580,192 @@ def test_topo_conformance(fuzz_seed, family, name):
     assert report.ok, f"{family}/{name} ({case}): {report.render()}"
 
 
+# -- quorum sweep: relaxed collectives under straggler/kill grids -------------
+#
+# The bounded-staleness family (DESIGN.md S25) fuzzes against a *restricted*
+# oracle: completion is bit-exact over exactly ``report.contributed_ranks``
+# (SUM mod 256 — associative and commutative, so any contribution subset has
+# one right answer), and the frontier's double-entry ledger must balance —
+# every opened contribution ends merged-on-time, merged-late, or
+# explicitly-discarded, with only dead ranks' entries allowed to stay open.
+# Each case also re-runs from scratch and must reproduce byte-identically.
+
+N_QUORUM_CASES = 42
+
+QUORUM_OPS = ("bcast_quorum", "reduce_quorum", "allreduce_quorum")
+
+
+def make_quorum_case(seed: int, idx: int) -> dict:
+    rng = random.Random((seed << 24) ^ (idx * 2246822519))
+    name = QUORUM_OPS[idx % len(QUORUM_OPS)]
+    nranks = rng.randint(4, 10)
+    root = rng.randrange(nranks)
+    regime = rng.choice(["tiny", "segments", "big"])
+    if regime == "tiny":
+        nbytes = rng.randint(nranks, 256)
+    elif regime == "segments":
+        nbytes = rng.randint(257, 8 * 1024)
+    else:
+        nbytes = rng.randint(8 * 1024 + 1, 24 * 1024)
+    scenario = ("clean", "stall", "kill")[idx % 3]
+    victim = rng.choice([r for r in range(nranks) if r != root])
+    return {
+        "collective": name,
+        "nranks": nranks,
+        "root": root,
+        "nbytes": nbytes,
+        "segment_size": rng.choice([512, 1024, 2048, 4096]),
+        "inflight_sends": rng.randint(1, 3),
+        "posted_recvs": rng.randint(1, 4),
+        "quorum": rng.choice([0.5, 0.75, 1.0, max(2, nranks - 2)]),
+        "staleness_window": rng.randint(0, 2),
+        "data_seed": rng.randrange(2**31),
+        "scenario": scenario,
+        "victim": victim,
+        # Stalls stay below the ~18.4 ms phi crossing (no false kills).
+        "stall_time": rng.uniform(5e-5, 4e-4),
+        "stall_duration": rng.uniform(2e-3, 1.4e-2),
+        "kill_time": rng.uniform(5e-5, 6e-4),
+        "fault_seed": rng.randrange(2**31),
+    }
+
+
+def _quorum_payload(case: dict):
+    rng = np.random.default_rng(case["data_seed"])
+    nranks, nbytes = case["nranks"], case["nbytes"]
+    if case["collective"] == "bcast_quorum":
+        return rng.integers(0, 256, nbytes, dtype=np.uint8)
+    return {r: rng.integers(0, 256, nbytes, dtype=np.uint8)
+            for r in range(nranks)}
+
+
+def _run_quorum_case(case: dict):
+    """Build a world, run the case to completion, return (world, handle)."""
+    from repro.config import RuntimeConfig
+    from repro.faults import FaultInjector, FaultPlan, KillSpec, StallSpec
+    from repro.harness.runner import _drive
+    from repro.libraries.presets import library_by_name, prepare_operation
+    from repro.relaxed import QuorumPolicy
+
+    plan = None
+    if case["scenario"] == "stall":
+        plan = FaultPlan(
+            stalls=[StallSpec(rank=case["victim"], time=case["stall_time"],
+                              duration=case["stall_duration"])],
+            seed=case["fault_seed"],
+        )
+    elif case["scenario"] == "kill":
+        plan = FaultPlan(
+            kills=[KillSpec(rank=case["victim"], time=case["kill_time"])],
+            seed=case["fault_seed"],
+        )
+    world = MpiWorld(
+        small_test_machine(), case["nranks"], carry_data=True,
+        config=RuntimeConfig(reliable=case["scenario"] != "kill"),
+        # A fail-stop strands the victim's wreckage mid-schedule; the
+        # ledger check below still certifies contribution conservation.
+        sanitize=case["scenario"] != "kill",
+    )
+    comm = Communicator(world)
+    cfg = CollectiveConfig(
+        segment_size=case["segment_size"],
+        inflight_sends=case["inflight_sends"],
+        posted_recvs=case["posted_recvs"],
+    )
+    policy = QuorumPolicy(quorum=case["quorum"],
+                          staleness_window=case["staleness_window"])
+    prep = prepare_operation(
+        library_by_name("OMPI-adapt"), case["collective"], policy=policy)
+    ctx = prep(comm, case["root"], case["nbytes"], cfg,
+               data=_quorum_payload(case))
+    handle = ctx.launch()
+    injectors = [FaultInjector(world, plan)] if plan is not None else []
+    _drive(world, injectors, lambda: handle.done, world.engine.now + 1.0)
+    world.run()
+    return world, handle
+
+
+def _quorum_signature(world, handle) -> tuple:
+    """Everything observable about a run, hashable — the determinism key."""
+    led = world.staleness_frontier.ledger
+    return (
+        sorted(handle.done_time.items()),
+        sorted(handle.report.contributed_ranks),
+        sorted(handle.report.late_merges),
+        sorted((r, out.tobytes()) for r, out in handle.output.items()),
+        (led.opened, led.on_time, led.late, led.discarded),
+    )
+
+
+def check_quorum_oracle(case: dict, handle, data) -> None:
+    """Bit-exact over exactly the contributed set."""
+    contrib = sorted(handle.report.contributed_ranks)
+    assert contrib, f"{case}: empty quorum"
+    if case["collective"] == "bcast_quorum":
+        for r in handle.done_time:
+            np.testing.assert_array_equal(
+                _out(handle, r), data, err_msg=f"bcast_quorum rank {r}")
+        return
+    expected = _fold({r: data[r] for r in contrib}, SUM)
+    if case["collective"] == "reduce_quorum":
+        outputs = [case["root"]] if case["root"] in handle.done_time else []
+    else:
+        outputs = list(handle.done_time)
+    for r in outputs:
+        np.testing.assert_array_equal(
+            _out(handle, r), expected,
+            err_msg=f"{case['collective']} rank {r} "
+                    f"(contributed={contrib})")
+
+
+@pytest.mark.parametrize("idx", range(N_QUORUM_CASES))
+def test_quorum_fuzz_case(fuzz_seed, idx):
+    case = make_quorum_case(fuzz_seed, idx)
+    world, handle = _run_quorum_case(case)
+    assert handle.done, f"quorum case {idx} ({case}): incomplete schedule"
+    assert handle.report.staleness_epoch >= 1
+    check_quorum_oracle(case, handle, _quorum_payload(case))
+
+    # Conservation: the double-entry ledger balances, and the only entries
+    # still open at drain belong to the dead (their contribution never
+    # arrives; the failure detector explains why).
+    frontier = world.staleness_frontier
+    frontier.flush_pending()
+    led = frontier.ledger
+    still_open = led.open_entries()
+    assert led.opened == led.on_time + led.late + led.discarded + len(still_open)
+    dead = {case["victim"]} if case["scenario"] == "kill" else set()
+    assert {r for _, r in still_open} <= dead, (
+        f"quorum case {idx}: live contributions leaked: {still_open}"
+    )
+    # Every non-contributor's fate is on the record (late-merge tuples) or
+    # excused by death — never silent.
+    accounted = {m[0] for m in handle.report.late_merges}
+    missing = (
+        set(range(case["nranks"]))
+        - set(handle.report.contributed_ranks) - accounted - dead
+    )
+    assert not missing, f"quorum case {idx}: unaccounted ranks {missing}"
+
+    # Byte-determinism: an identical world replays the identical outcome.
+    world2, handle2 = _run_quorum_case(case)
+    world2.staleness_frontier.flush_pending()
+    assert _quorum_signature(world, handle) == _quorum_signature(world2, handle2), (
+        f"quorum case {idx} ({case}): nondeterministic replay"
+    )
+
+
+class TestQuorumSweepDeterminism:
+    def test_cases_reproducible_from_seed(self):
+        a = [make_quorum_case(99, i) for i in range(N_QUORUM_CASES)]
+        assert a == [make_quorum_case(99, i) for i in range(N_QUORUM_CASES)]
+
+    def test_grid_covers_ops_and_scenarios(self):
+        cases = [make_quorum_case(99, i) for i in range(N_QUORUM_CASES)]
+        assert {c["collective"] for c in cases} == set(QUORUM_OPS)
+        assert {c["scenario"] for c in cases} == {"clean", "stall", "kill"}
+
+
 class TestSweepDeterminism:
     def test_cases_reproducible_from_seed(self):
         a = [make_case(1234, i) for i in range(N_CASES)]
